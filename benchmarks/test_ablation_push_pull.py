@@ -1,0 +1,52 @@
+"""Ablation: the paper's push–pull step vs the push-only baseline (Kempe et al.).
+
+The related-work section argues for the push–pull scheme; this ablation
+quantifies the difference by running both update rules over the same
+overlays and comparing per-cycle convergence factors.
+"""
+
+import pytest
+
+from repro.analysis.theory import PUSH_PULL_CONVERGENCE_FACTOR
+from repro.common.rng import RandomSource
+from repro.core.functions import AverageFunction, PushSumFunction
+from repro.simulator.cycle_sim import CycleSimulator
+from repro.topology import TopologySpec, build_overlay
+
+
+def run_variant(function, size, cycles, seed):
+    rng = RandomSource(seed)
+    overlay = build_overlay(TopologySpec("random", degree=20), size, rng.child("topology"))
+    values_rng = rng.child("values")
+    values = [values_rng.uniform(0, 100) for _ in range(size)]
+    simulator = CycleSimulator(overlay, function, values, rng.child("sim"))
+    simulator.run(cycles)
+    return simulator.trace.average_convergence_factor(cycles)
+
+
+@pytest.mark.benchmark(group="ablation-push-pull")
+def test_push_pull_vs_push_only(benchmark, scale):
+    size = scale.network_size
+    cycles = 15
+
+    def run_both():
+        push_pull = [run_variant(AverageFunction(), size, cycles, seed) for seed in range(scale.repeats)]
+        push_only = [run_variant(PushSumFunction(), size, cycles, seed + 100) for seed in range(scale.repeats)]
+        return (
+            sum(push_pull) / len(push_pull),
+            sum(push_only) / len(push_only),
+        )
+
+    push_pull_factor, push_only_factor = benchmark.pedantic(
+        run_both, rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["push_pull_factor"] = push_pull_factor
+    benchmark.extra_info["push_only_factor"] = push_only_factor
+    print(
+        f"\npush-pull convergence factor: {push_pull_factor:.4f}  "
+        f"(theory {PUSH_PULL_CONVERGENCE_FACTOR:.4f})\n"
+        f"push-only convergence factor: {push_only_factor:.4f}"
+    )
+    # The push–pull step reduces variance markedly faster per cycle.
+    assert push_pull_factor == pytest.approx(PUSH_PULL_CONVERGENCE_FACTOR, abs=0.06)
+    assert push_only_factor > push_pull_factor + 0.05

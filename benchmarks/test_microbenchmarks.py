@@ -1,0 +1,54 @@
+"""Micro-benchmarks of the simulation substrates themselves.
+
+Unlike the figure benchmarks (which time a whole experiment), these time
+the building blocks — one aggregation cycle, one NEWSCAST maintenance
+round, overlay construction — with proper pytest-benchmark statistics, so
+performance regressions in the simulator show up directly.
+"""
+
+import pytest
+
+from repro.common.rng import RandomSource
+from repro.core.functions import AverageFunction
+from repro.newscast import NewscastOverlay
+from repro.simulator.cycle_sim import CycleSimulator
+from repro.topology import TopologySpec, build_overlay
+from repro.topology.random_regular import random_k_out_topology
+from repro.topology.watts_strogatz import watts_strogatz_topology
+
+
+@pytest.mark.benchmark(group="micro-cycle")
+def test_one_aggregation_cycle(benchmark, scale):
+    size = scale.network_size
+    rng = RandomSource(1)
+    overlay = build_overlay(TopologySpec("random", degree=20), size, rng.child("t"))
+    simulator = CycleSimulator(
+        overlay, AverageFunction(), [float(i) for i in range(size)], rng.child("s")
+    )
+    benchmark(simulator.run_cycle)
+    assert simulator.cycle_index >= 1
+
+
+@pytest.mark.benchmark(group="micro-newscast")
+def test_one_newscast_round(benchmark, scale):
+    size = scale.network_size
+    rng = RandomSource(2)
+    overlay = NewscastOverlay.bootstrap(size, cache_size=30, rng=rng.child("boot"))
+    benchmark(overlay.after_cycle, rng.child("round"))
+    assert overlay.last_cycle_exchanges > 0
+
+
+@pytest.mark.benchmark(group="micro-topology")
+def test_build_random_overlay(benchmark, scale):
+    size = scale.network_size
+    rng = RandomSource(3)
+    topology = benchmark(random_k_out_topology, size, 20, rng)
+    assert topology.size() == size
+
+
+@pytest.mark.benchmark(group="micro-topology")
+def test_build_watts_strogatz_overlay(benchmark, scale):
+    size = scale.network_size
+    rng = RandomSource(4)
+    topology = benchmark(watts_strogatz_topology, size, 20, 0.25, rng)
+    assert topology.size() == size

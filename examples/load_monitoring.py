@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Adaptive load monitoring with the full practical protocol.
+
+The paper motivates proactive aggregation with load balancing: every node
+needs a continuously updated estimate of the *average load* so it knows
+when to stop transferring work.  This example runs the complete practical
+protocol (epochs, restarts, exchange timeouts, message delays) on the
+event-driven simulator:
+
+* 60 nodes run :class:`repro.AggregationNode` over a random overlay;
+* each node's local load *changes over time* (a load spike hits a subset
+  of the nodes halfway through);
+* every epoch restart re-reads the current loads, so the reported average
+  tracks the change — the protocol is adaptive, exactly as Section 4.1
+  describes.
+
+Run with:  python examples/load_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import EpochConfig, RandomSource
+from repro.core.functions import AverageFunction
+from repro.core.node import AggregationNode
+from repro.simulator.event_sim import EventDrivenNetwork
+from repro.simulator.transport import DelayModel
+from repro.topology import TopologySpec, build_overlay
+
+NODE_COUNT = 60
+CYCLES_PER_EPOCH = 20
+EPOCHS_TO_RUN = 6
+SPIKE_EPOCH = 3  # the load spike becomes visible from this epoch on
+
+
+class LoadGenerator:
+    """Per-node load that jumps for half the nodes after the spike time."""
+
+    def __init__(self, node_id: int, rng: RandomSource, network: EventDrivenNetwork):
+        self.base_load = rng.uniform(10.0, 30.0)
+        self.spiky = node_id % 2 == 0
+        self.network = network
+
+    def current_load(self) -> float:
+        spike_time = SPIKE_EPOCH * CYCLES_PER_EPOCH
+        if self.spiky and self.network.now >= spike_time:
+            return self.base_load + 50.0
+        return self.base_load
+
+
+def main() -> None:
+    rng = RandomSource(7)
+    overlay = build_overlay(TopologySpec("random", degree=8), NODE_COUNT, rng.child("topology"))
+    network = EventDrivenNetwork(
+        rng.child("network"),
+        delay_model=DelayModel(min_delay=0.01, max_delay=0.05, timeout=0.3),
+    )
+    config = EpochConfig(cycle_length=1.0, cycles_per_epoch=CYCLES_PER_EPOCH)
+
+    nodes = []
+    generators = []
+    for index in range(NODE_COUNT):
+        generator = LoadGenerator(index, rng.child("load", index), network)
+        node = AggregationNode(
+            function=AverageFunction(),
+            value_provider=generator.current_load,
+            overlay=overlay,
+            epoch_config=config,
+            rng=rng.child("node", index),
+        )
+        network.add_process(node, node_id=index)
+        nodes.append(node)
+        generators.append(generator)
+
+    print(f"Monitoring the average load of {NODE_COUNT} nodes "
+          f"({CYCLES_PER_EPOCH} cycles per epoch)\n")
+    print(f"{'epoch':>5}  {'true average':>14}  {'reported (min..max over nodes)':>34}")
+
+    for epoch in range(EPOCHS_TO_RUN):
+        network.run_until((epoch + 1) * config.effective_epoch_length + 0.5)
+        true_average = sum(g.current_load() for g in generators) / NODE_COUNT
+        reported = [node.latest_result() for node in nodes if node.latest_result() is not None]
+        if reported:
+            print(
+                f"{epoch:>5}  {true_average:>14.3f}  "
+                f"{min(reported):>15.3f} .. {max(reported):<15.3f}"
+            )
+
+    print(
+        "\nThe spike that hits half the nodes at epoch "
+        f"{SPIKE_EPOCH} shows up in the very next reported estimate: the "
+        "protocol adapts because every epoch restarts from fresh local values."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Network-size monitoring (COUNT) in a churning peer-to-peer system.
+
+A constant-size but continuously churning network (nodes crash and are
+replaced every cycle) runs the COUNT protocol on top of a NEWSCAST
+overlay.  Two variants are compared, exactly as Section 7.3 of the paper
+suggests:
+
+* a single COUNT instance (one leader, one peak value), and
+* 20 concurrent instances whose outputs every node combines with the
+  trimmed mean.
+
+The multi-instance variant reports far tighter size estimates under the
+same failure load.
+
+Run with:  python examples/network_size_monitoring.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import RandomSource
+from repro.core.instances import MultiInstanceCount
+from repro.simulator.cycle_sim import CycleSimulator
+from repro.simulator.failures import ChurnModel
+from repro.simulator.transport import TransportModel
+from repro.topology import TopologySpec, build_overlay
+
+NETWORK_SIZE = 800
+CYCLES = 30
+CHURN_PER_CYCLE = 8          # 1% of the network substituted per cycle
+MESSAGE_LOSS = 0.05          # 5% of messages lost on top of the churn
+
+
+def run_count(instances: int, seed: int) -> dict:
+    """Run one epoch of COUNT with the given number of concurrent instances."""
+    rng = RandomSource(seed)
+    overlay = build_overlay(TopologySpec("newscast", degree=30), NETWORK_SIZE, rng.child("t"))
+    bundle = MultiInstanceCount.create(overlay.node_ids(), instances, rng.child("instances"))
+    simulator = CycleSimulator(
+        overlay=overlay,
+        function=bundle.function,
+        initial_values=bundle.initial_values,
+        rng=rng.child("sim"),
+        transport=TransportModel(message_loss_probability=MESSAGE_LOSS),
+        failure_model=ChurnModel(CHURN_PER_CYCLE),
+    )
+    simulator.run(CYCLES)
+    reported = [
+        value
+        for value in bundle.size_estimates(simulator.states()).values()
+        if math.isfinite(value)
+    ]
+    return {
+        "instances": instances,
+        "min": min(reported),
+        "max": max(reported),
+        "mean": sum(reported) / len(reported),
+        "survivors": len(simulator.participant_ids()),
+    }
+
+
+def main() -> None:
+    print(
+        f"COUNT over a churning network: true size {NETWORK_SIZE}, "
+        f"{CHURN_PER_CYCLE} nodes substituted per cycle, "
+        f"{MESSAGE_LOSS:.0%} message loss, {CYCLES} cycles\n"
+    )
+    print(f"{'instances':>10}  {'min':>10}  {'mean':>10}  {'max':>10}  {'max rel. error':>15}")
+    for instances in (1, 5, 20):
+        summary = run_count(instances, seed=11)
+        worst = max(abs(summary["min"] - NETWORK_SIZE), abs(summary["max"] - NETWORK_SIZE))
+        print(
+            f"{summary['instances']:>10}  {summary['min']:>10.1f}  {summary['mean']:>10.1f}  "
+            f"{summary['max']:>10.1f}  {worst / NETWORK_SIZE:>14.1%}"
+        )
+    print(
+        "\nRunning ~20 concurrent instances and trimming the extremes keeps every "
+        "node's size estimate close to the truth even under continuous churn, "
+        "matching Figure 8 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — Robust Aggregation Protocols for Large-Scale Overlay Networks.
+
+A faithful, pure-Python reproduction of Montresor, Jelasity & Babaoglu,
+*Robust Aggregation Protocols for Large-Scale Overlay Networks* (DSN 2004):
+push–pull anti-entropy aggregation (AVERAGE, COUNT, SUM, PRODUCT, MIN, MAX,
+VARIANCE), epochs with epidemic synchronisation, the NEWSCAST membership
+protocol, static overlay generators, cycle- and event-driven simulators,
+failure models, the paper's theoretical predictions, and an experiment
+harness that regenerates every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import aggregate
+    result = aggregate([10.0, 20.0, 30.0, 40.0] * 100, aggregate="average", seed=42)
+    print(result.mean_estimate, result.relative_error)
+"""
+
+from .common import RandomSource
+from .core import (
+    AggregationNode,
+    AggregationResult,
+    AverageFunction,
+    CountMapFunction,
+    EpochConfig,
+    GeometricMeanFunction,
+    KNOWN_AGGREGATES,
+    MaxFunction,
+    MeanAggregate,
+    MinFunction,
+    MultiInstanceCount,
+    NetworkSizeAggregate,
+    ProductAggregate,
+    PushSumFunction,
+    SumAggregate,
+    VarianceAggregate,
+    VectorFunction,
+    aggregate,
+)
+from .newscast import NewscastOverlay
+from .simulator import (
+    ChurnModel,
+    CountCrashModel,
+    CycleSimulator,
+    EventDrivenNetwork,
+    NoFailures,
+    ProportionalCrashModel,
+    SuddenDeathModel,
+    TransportModel,
+)
+from .topology import TopologySpec, build_overlay
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "aggregate",
+    "AggregationResult",
+    "KNOWN_AGGREGATES",
+    "RandomSource",
+    "AverageFunction",
+    "MinFunction",
+    "MaxFunction",
+    "GeometricMeanFunction",
+    "PushSumFunction",
+    "VectorFunction",
+    "CountMapFunction",
+    "MeanAggregate",
+    "NetworkSizeAggregate",
+    "SumAggregate",
+    "ProductAggregate",
+    "VarianceAggregate",
+    "MultiInstanceCount",
+    "AggregationNode",
+    "EpochConfig",
+    "NewscastOverlay",
+    "CycleSimulator",
+    "EventDrivenNetwork",
+    "TransportModel",
+    "NoFailures",
+    "ProportionalCrashModel",
+    "SuddenDeathModel",
+    "ChurnModel",
+    "CountCrashModel",
+    "TopologySpec",
+    "build_overlay",
+]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while still being able to distinguish configuration
+mistakes from runtime simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied parameter is invalid or inconsistent.
+
+    Raised eagerly, at construction time, so that a long simulation never
+    fails halfway through because of a bad parameter.
+    """
+
+
+class TopologyError(ReproError):
+    """A topology cannot be built or violates a structural requirement."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class ProtocolError(ReproError):
+    """An aggregation protocol received an invalid message or state."""
+
+
+class MembershipError(ReproError):
+    """A membership (NEWSCAST) operation failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition is invalid or produced no data."""

@@ -1,0 +1,78 @@
+"""The paper's core contribution: robust proactive epidemic aggregation."""
+
+from .count import (
+    CountMapFunction,
+    LeaderElection,
+    count_estimate_from_map,
+    network_size_from_estimate,
+    peak_initial_values,
+)
+from .derived import (
+    DerivedAggregate,
+    MeanAggregate,
+    NetworkSizeAggregate,
+    ProductAggregate,
+    SumAggregate,
+    VarianceAggregate,
+)
+from .epoch import EpochConfig, EpochTracker, cycles_for_accuracy
+from .functions import (
+    AggregationFunction,
+    AverageFunction,
+    GeometricMeanFunction,
+    MaxFunction,
+    MinFunction,
+    PushSumFunction,
+    VectorFunction,
+)
+from .instances import (
+    MultiInstanceCount,
+    multi_instance_peak_values,
+    reduce_size_estimates,
+)
+from .messages import (
+    ExchangeRequest,
+    ExchangeResponse,
+    JoinRequest,
+    JoinResponse,
+    StaleEpochNotice,
+)
+from .node import AggregationNode, collect_estimates
+from .protocol import KNOWN_AGGREGATES, AggregationResult, aggregate
+
+__all__ = [
+    "AggregationFunction",
+    "AverageFunction",
+    "MinFunction",
+    "MaxFunction",
+    "GeometricMeanFunction",
+    "PushSumFunction",
+    "VectorFunction",
+    "CountMapFunction",
+    "LeaderElection",
+    "peak_initial_values",
+    "network_size_from_estimate",
+    "count_estimate_from_map",
+    "DerivedAggregate",
+    "MeanAggregate",
+    "NetworkSizeAggregate",
+    "SumAggregate",
+    "ProductAggregate",
+    "VarianceAggregate",
+    "EpochConfig",
+    "EpochTracker",
+    "cycles_for_accuracy",
+    "MultiInstanceCount",
+    "multi_instance_peak_values",
+    "reduce_size_estimates",
+    "ExchangeRequest",
+    "ExchangeResponse",
+    "StaleEpochNotice",
+    "JoinRequest",
+    "JoinResponse",
+    "AggregationNode",
+    "collect_estimates",
+    "AggregationResult",
+    "aggregate",
+    "KNOWN_AGGREGATES",
+]

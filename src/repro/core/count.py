@@ -1,0 +1,220 @@
+"""COUNT: estimating the network size.
+
+The paper derives the network size from averaging a *peak* distribution:
+if exactly one node (the leader) starts with value 1 and everyone else
+with 0, the true average is 1/N, so every node can read the size off its
+converged local estimate.
+
+Two realisations are provided:
+
+* :func:`peak_initial_values` + the plain :class:`AverageFunction` — the
+  simple scheme used for the robustness experiments of Section 7 (the
+  leader is a single point of failure, which is precisely why the paper
+  uses it as the worst case).
+* :class:`CountMapFunction` — the multi-leader map scheme of Section 5.
+  Every node keeps a map from leader identifier to an average estimate;
+  exchanging nodes merge maps key-wise, treating a missing key as the
+  value 0 (so the entry is halved).  Leaders elect themselves at epoch
+  start with probability ``P_lead = C / N̂`` where ``N̂`` is the previous
+  epoch's size estimate, keeping roughly ``C`` concurrent runs alive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..common.errors import ConfigurationError, ProtocolError
+from ..common.rng import RandomSource
+from ..common.validation import require_positive, require_probability
+from .functions import AggregationFunction
+
+__all__ = [
+    "peak_initial_values",
+    "network_size_from_estimate",
+    "CountMapFunction",
+    "LeaderElection",
+    "count_estimate_from_map",
+]
+
+
+def peak_initial_values(size: int, leader: int = 0, peak_value: float = 1.0) -> List[float]:
+    """Initial values of the peak distribution used by the basic COUNT.
+
+    Parameters
+    ----------
+    size:
+        Number of nodes.
+    leader:
+        Identifier (index) of the node holding the peak.
+    peak_value:
+        Value held by the leader; every other node holds 0.  The paper
+        also uses this distribution with ``peak_value = size`` to obtain a
+        global average of exactly 1 (Figure 2).
+    """
+    require_positive(size, "size")
+    if not 0 <= leader < size:
+        raise ConfigurationError(f"leader must be a valid node index, got {leader}")
+    values = [0.0] * size
+    values[leader] = float(peak_value)
+    return values
+
+
+def network_size_from_estimate(average_estimate: Optional[float]) -> float:
+    """Convert a converged peak-distribution average into a size estimate.
+
+    Returns ``inf`` when the local estimate is zero or missing (possible in
+    early cycles or after the leader crashed before spreading its value),
+    matching the paper's observation that the estimate "can even become
+    infinite".
+    """
+    if average_estimate is None or average_estimate <= 0.0:
+        return math.inf
+    return 1.0 / average_estimate
+
+
+# ----------------------------------------------------------------------
+# Map-based COUNT (Section 5)
+# ----------------------------------------------------------------------
+class CountMapFunction(AggregationFunction):
+    """Multi-leader COUNT state: a map from leader id to average estimate.
+
+    The merge rule follows the paper exactly: keys present in only one of
+    the two maps are halved (the other node implicitly contributes a 0),
+    keys present in both are averaged.  Every node therefore runs one
+    averaging instance per leader, and each instance converges to ``1/N``.
+    """
+
+    name = "count-map"
+
+    def initial_state(self, local_value) -> Dict[int, float]:
+        """Initial map: ``{leader_id: 1.0}`` for leaders, ``{}`` otherwise.
+
+        ``local_value`` may be ``None``/``{}`` for a non-leader, an integer
+        leader identifier, or an explicit mapping.
+        """
+        if local_value is None:
+            return {}
+        if isinstance(local_value, Mapping):
+            return {int(k): float(v) for k, v in local_value.items()}
+        if isinstance(local_value, (int, float)) and not isinstance(local_value, bool):
+            # Interpreted as "this node is the leader with this identifier".
+            return {int(local_value): 1.0}
+        raise ProtocolError(
+            f"cannot build a COUNT map state from {local_value!r}"
+        )
+
+    def merge(
+        self, initiator_state: Dict[int, float], responder_state: Dict[int, float]
+    ) -> Tuple[Dict[int, float], Dict[int, float]]:
+        merged: Dict[int, float] = {}
+        for leader, estimate in initiator_state.items():
+            if leader in responder_state:
+                merged[leader] = (estimate + responder_state[leader]) / 2.0
+            else:
+                merged[leader] = estimate / 2.0
+        for leader, estimate in responder_state.items():
+            if leader not in initiator_state:
+                merged[leader] = estimate / 2.0
+        # Both peers install the same merged map.
+        return dict(merged), dict(merged)
+
+    def estimate(self, state: Dict[int, float]) -> Optional[float]:
+        """The average of the per-leader estimates (``None`` if the map is empty).
+
+        Each per-leader entry independently converges to 1/N, so averaging
+        them is the natural scalar summary; dedicated reducers (e.g. the
+        trimmed mean of Section 7.3) can instead consume
+        :func:`count_estimate_from_map`.
+        """
+        if not state:
+            return None
+        return sum(state.values()) / len(state)
+
+    def conserved_quantity(self, states: Sequence[Dict[int, float]]) -> float:
+        """Total mass summed over all leaders and nodes (1 per live leader)."""
+        return float(sum(sum(state.values()) for state in states))
+
+    def true_value(self, values) -> float:
+        raise NotImplementedError(
+            "COUNT has no per-node input values; the true value is the network size"
+        )
+
+
+def count_estimate_from_map(
+    state: Mapping[int, float], discard_fraction: float = 0.0
+) -> float:
+    """Network-size estimate derived from a COUNT map.
+
+    Each map entry yields the estimate ``1 / value``; entries are combined
+    with a symmetric trimmed mean controlled by ``discard_fraction`` (the
+    paper discards the lowest and highest thirds, i.e. ``1/3``).
+
+    Returns ``inf`` for an empty map.
+    """
+    require_probability(discard_fraction, "discard_fraction")
+    if not state:
+        return math.inf
+    estimates = sorted(network_size_from_estimate(value) for value in state.values())
+    drop = int(len(estimates) * discard_fraction)
+    kept = estimates[drop: len(estimates) - drop] or estimates
+    finite = [value for value in kept if math.isfinite(value)]
+    if not finite:
+        return math.inf
+    return sum(finite) / len(finite)
+
+
+# ----------------------------------------------------------------------
+# Leader election (Section 5, "Plead = C / N̂")
+# ----------------------------------------------------------------------
+@dataclass
+class LeaderElection:
+    """Self-election of COUNT leaders at the start of every epoch.
+
+    Each node independently becomes a leader with probability
+    ``P_lead = concurrent_target / estimated_size``, so the number of
+    concurrent COUNT runs is approximately Poisson with mean
+    ``concurrent_target`` as long as the size estimate from the previous
+    epoch is roughly right.
+
+    Attributes
+    ----------
+    concurrent_target:
+        Desired number of concurrent COUNT runs (``C`` in the paper).
+    estimated_size:
+        Size estimate from the previous epoch (``N̂``); updated by calling
+        :meth:`update_estimate`.
+    """
+
+    concurrent_target: float
+    estimated_size: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.concurrent_target, "concurrent_target")
+        require_positive(self.estimated_size, "estimated_size")
+
+    @property
+    def lead_probability(self) -> float:
+        """The per-node self-election probability ``P_lead``, capped at 1."""
+        return min(1.0, self.concurrent_target / self.estimated_size)
+
+    def elect(self, node_ids: Sequence[int], rng: RandomSource) -> List[int]:
+        """Return the identifiers that elected themselves for this epoch."""
+        probability = self.lead_probability
+        return [node for node in node_ids if rng.bernoulli(probability)]
+
+    def initial_maps(
+        self, node_ids: Sequence[int], rng: RandomSource
+    ) -> Dict[int, Dict[int, float]]:
+        """Initial COUNT maps for every node given a fresh election."""
+        leaders = set(self.elect(node_ids, rng))
+        return {
+            node: ({node: 1.0} if node in leaders else {})
+            for node in node_ids
+        }
+
+    def update_estimate(self, new_estimate: float) -> None:
+        """Adopt the size estimate produced by the epoch that just ended."""
+        if new_estimate > 0 and math.isfinite(new_estimate):
+            self.estimated_size = float(new_estimate)

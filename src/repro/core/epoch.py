@@ -1,0 +1,171 @@
+"""Epochs: automatic restarting and synchronisation (Section 4.1 and 4.3).
+
+The basic averaging protocol converges to the aggregate that existed when
+estimates were initialised; to remain *adaptive* the protocol is restarted
+periodically.  Execution is divided into consecutive epochs of length Δ;
+within an epoch each node runs γ cycles of length δ and then terminates,
+reporting its converged estimate as the aggregation output for the epoch.
+
+Synchronisation is epidemic: epoch identifiers ride on every exchange
+message, and a node that hears about a later epoch immediately abandons
+its current one and joins the newer epoch, so the whole network follows
+the pace set by the fastest nodes.
+
+This module provides the configuration record shared by the practical
+protocol and the per-node :class:`EpochTracker` state machine used by
+:class:`~repro.core.node.AggregationNode`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..common.errors import ConfigurationError
+from ..common.validation import require_positive
+
+__all__ = ["EpochConfig", "EpochTracker", "cycles_for_accuracy"]
+
+
+def cycles_for_accuracy(accuracy: float, convergence_factor: float) -> int:
+    """Number of cycles γ needed to shrink the variance by ``accuracy``.
+
+    Implements the rule of Section 4.5: after γ cycles the expected
+    variance is ρ^γ times the initial one, so γ ≥ log_ρ(ε).
+
+    Parameters
+    ----------
+    accuracy:
+        The target ratio ε between final and initial variance (0 < ε < 1).
+    convergence_factor:
+        The per-cycle variance reduction ρ of the overlay in use
+        (``1/(2√e)`` for sufficiently random overlays).
+    """
+    if not 0.0 < accuracy < 1.0:
+        raise ConfigurationError(f"accuracy must be in (0, 1), got {accuracy}")
+    if not 0.0 < convergence_factor < 1.0:
+        raise ConfigurationError(
+            f"convergence_factor must be in (0, 1), got {convergence_factor}"
+        )
+    return int(math.ceil(math.log(accuracy) / math.log(convergence_factor)))
+
+
+@dataclass(frozen=True)
+class EpochConfig:
+    """Timing parameters of the practical protocol.
+
+    Attributes
+    ----------
+    cycle_length:
+        δ — the real-time length of one cycle (the period of the active
+        thread).
+    cycles_per_epoch:
+        γ — how many cycles a node executes before terminating the epoch
+        and reporting its estimate.
+    epoch_length:
+        Δ — the real-time length of an epoch, i.e. how often the protocol
+        restarts with fresh local values.  Defaults to ``γ · δ`` (epochs
+        back to back); larger values leave idle time between epochs,
+        smaller values make epochs overlap (allowed by the paper, handled
+        via epoch identifiers).
+    """
+
+    cycle_length: float = 1.0
+    cycles_per_epoch: int = 30
+    epoch_length: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        require_positive(self.cycle_length, "cycle_length")
+        require_positive(self.cycles_per_epoch, "cycles_per_epoch")
+        if self.epoch_length is not None:
+            require_positive(self.epoch_length, "epoch_length")
+
+    @property
+    def effective_epoch_length(self) -> float:
+        """Δ, defaulting to γ·δ when not set explicitly."""
+        if self.epoch_length is not None:
+            return self.epoch_length
+        return self.cycle_length * self.cycles_per_epoch
+
+    def epoch_start_time(self, epoch_id: int) -> float:
+        """Nominal global start time of a given epoch (epoch 0 starts at 0)."""
+        if epoch_id < 0:
+            raise ConfigurationError("epoch_id must be non-negative")
+        return epoch_id * self.effective_epoch_length
+
+    def epoch_for_time(self, time: float) -> int:
+        """The epoch nominally in progress at global time ``time``."""
+        if time < 0:
+            raise ConfigurationError("time must be non-negative")
+        return int(time // self.effective_epoch_length)
+
+
+@dataclass
+class EpochTracker:
+    """Per-node epoch state machine.
+
+    Tracks which epoch the node is participating in, how many cycles it
+    has completed in that epoch, and the estimates reported by completed
+    epochs.  The tracker does not know about wall-clock time; the node
+    drives it from its timers and message handlers.
+    """
+
+    config: EpochConfig
+    current_epoch: int = 0
+    cycles_completed: int = 0
+    #: Estimates reported at the end of each completed epoch.
+    completed_results: Dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_terminated(self) -> bool:
+        """Whether the node finished its γ cycles for the current epoch."""
+        return self.cycles_completed >= self.config.cycles_per_epoch
+
+    def latest_result(self) -> Optional[float]:
+        """The most recent completed-epoch estimate, if any."""
+        if not self.completed_results:
+            return None
+        return self.completed_results[max(self.completed_results)]
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def complete_cycle(self) -> None:
+        """Record that one cycle of the current epoch has elapsed."""
+        self.cycles_completed += 1
+
+    def finish_epoch(self, estimate: Optional[float]) -> None:
+        """Record the estimate of the epoch that just ended.
+
+        ``None`` estimates (e.g. an empty COUNT map) are not recorded.
+        """
+        if estimate is not None and math.isfinite(estimate):
+            self.completed_results[self.current_epoch] = float(estimate)
+
+    def start_epoch(self, epoch_id: int) -> None:
+        """Begin participating in ``epoch_id`` with a fresh cycle counter."""
+        if epoch_id < self.current_epoch:
+            raise ConfigurationError(
+                f"cannot move backwards from epoch {self.current_epoch} to {epoch_id}"
+            )
+        self.current_epoch = epoch_id
+        self.cycles_completed = 0
+
+    def observe_epoch(self, epoch_id: int) -> bool:
+        """React to an epoch identifier seen on an incoming message.
+
+        Returns ``True`` when the identifier is newer than the current
+        epoch, in which case the caller must abandon the current epoch and
+        re-initialise its state for ``epoch_id`` (the epidemic
+        synchronisation rule of Section 4.3).  The tracker itself is
+        advanced; the caller is responsible for resetting protocol state.
+        """
+        if epoch_id <= self.current_epoch:
+            return False
+        self.current_epoch = epoch_id
+        self.cycles_completed = 0
+        return True

@@ -1,0 +1,322 @@
+"""Aggregation functions: the UPDATE step of the push–pull protocol.
+
+The generic protocol of the paper (Figure 1) is parameterised by a single
+method ``UPDATE(s_p, s_q)`` that computes new local states from the two
+states exchanged by peers ``p`` and ``q``.  This module captures that
+parameterisation in the :class:`AggregationFunction` interface and provides
+the concrete functions discussed in Sections 3 and 5:
+
+* :class:`AverageFunction` — ``UPDATE(a, b) = ((a+b)/2, (a+b)/2)``; the
+  elementary variance-reduction step.  Converges to the arithmetic mean.
+* :class:`MinFunction` / :class:`MaxFunction` — epidemic broadcast of the
+  extremal value.
+* :class:`GeometricMeanFunction` — ``UPDATE(a, b) = (√(ab), √(ab))``;
+  converges to the geometric mean, and combined with COUNT yields the
+  global product.
+* :class:`PushSumFunction` — the push-only (value, weight) scheme of
+  Kempe et al., included as the baseline the paper compares against in its
+  related-work discussion; used by the push-pull-vs-push-only ablation.
+* :class:`VectorFunction` — runs several functions side by side on tuple
+  states, which is how SUM/VARIANCE/PRODUCT and multi-instance COUNT are
+  assembled from the primitives.
+
+All functions are *stateless*: per-node state is an opaque value handled by
+the simulator or by :class:`~repro.core.node.AggregationNode`, and the
+function only knows how to initialise, merge and read it.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Any, Optional, Sequence, Tuple
+
+from ..common.errors import ProtocolError
+
+__all__ = [
+    "AggregationFunction",
+    "AverageFunction",
+    "MinFunction",
+    "MaxFunction",
+    "GeometricMeanFunction",
+    "PushSumFunction",
+    "VectorFunction",
+]
+
+
+class AggregationFunction(abc.ABC):
+    """Interface for the UPDATE step of the epidemic aggregation protocol."""
+
+    #: Short machine-readable name used in reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def initial_state(self, local_value: float) -> Any:
+        """Build the protocol state a node starts an epoch with."""
+
+    @abc.abstractmethod
+    def merge(self, initiator_state: Any, responder_state: Any) -> Tuple[Any, Any]:
+        """Compute the post-exchange states ``(new_initiator, new_responder)``.
+
+        For the push–pull functions of the paper the two returned states
+        are identical; the pair form exists so that asymmetric schemes
+        (push-only) and loss scenarios (response message dropped) can be
+        expressed by applying only one side of the result.
+        """
+
+    @abc.abstractmethod
+    def estimate(self, state: Any) -> Optional[float]:
+        """Extract the aggregate estimate carried by ``state``.
+
+        Returns ``None`` when the state carries no estimate yet (possible
+        for map-based COUNT states before any leader information reached
+        the node).
+        """
+
+    # ------------------------------------------------------------------
+    # Optional capabilities, overridden where meaningful.
+    # ------------------------------------------------------------------
+    def conserved_quantity(self, states: Sequence[Any]) -> Optional[float]:
+        """A quantity that every *complete* exchange leaves unchanged.
+
+        Used by property-based tests: for averaging this is the sum of the
+        states, for the geometric mean the product, for push-sum the sum of
+        values and of weights.  ``None`` means the function conserves
+        nothing exploitable (MIN/MAX).
+        """
+        return None
+
+    def true_value(self, values: Sequence[float]) -> float:
+        """The exact aggregate of ``values`` (for accuracy measurements)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class AverageFunction(AggregationFunction):
+    """The elementary averaging step: both peers adopt the pair mean."""
+
+    name = "average"
+
+    def initial_state(self, local_value: float) -> float:
+        return float(local_value)
+
+    def merge(self, initiator_state: float, responder_state: float) -> Tuple[float, float]:
+        mean = (initiator_state + responder_state) / 2.0
+        return mean, mean
+
+    def estimate(self, state: float) -> float:
+        return float(state)
+
+    def conserved_quantity(self, states: Sequence[float]) -> float:
+        return float(sum(states))
+
+    def true_value(self, values: Sequence[float]) -> float:
+        if not values:
+            raise ProtocolError("cannot average an empty value set")
+        return float(sum(values) / len(values))
+
+
+class MinFunction(AggregationFunction):
+    """Epidemic propagation of the minimum value."""
+
+    name = "min"
+
+    def initial_state(self, local_value: float) -> float:
+        return float(local_value)
+
+    def merge(self, initiator_state: float, responder_state: float) -> Tuple[float, float]:
+        smallest = min(initiator_state, responder_state)
+        return smallest, smallest
+
+    def estimate(self, state: float) -> float:
+        return float(state)
+
+    def true_value(self, values: Sequence[float]) -> float:
+        if not values:
+            raise ProtocolError("cannot take the minimum of an empty value set")
+        return float(min(values))
+
+
+class MaxFunction(AggregationFunction):
+    """Epidemic propagation of the maximum value."""
+
+    name = "max"
+
+    def initial_state(self, local_value: float) -> float:
+        return float(local_value)
+
+    def merge(self, initiator_state: float, responder_state: float) -> Tuple[float, float]:
+        largest = max(initiator_state, responder_state)
+        return largest, largest
+
+    def estimate(self, state: float) -> float:
+        return float(state)
+
+    def true_value(self, values: Sequence[float]) -> float:
+        if not values:
+            raise ProtocolError("cannot take the maximum of an empty value set")
+        return float(max(values))
+
+
+class GeometricMeanFunction(AggregationFunction):
+    """Both peers adopt the geometric mean of their states.
+
+    Requires non-negative local values; a zero anywhere drives the global
+    geometric mean to zero, exactly as the mathematical definition does.
+    """
+
+    name = "geometric-mean"
+
+    def initial_state(self, local_value: float) -> float:
+        value = float(local_value)
+        if value < 0:
+            raise ProtocolError(
+                f"geometric mean requires non-negative values, got {value}"
+            )
+        return value
+
+    def merge(self, initiator_state: float, responder_state: float) -> Tuple[float, float]:
+        mean = math.sqrt(initiator_state * responder_state)
+        return mean, mean
+
+    def estimate(self, state: float) -> float:
+        return float(state)
+
+    def conserved_quantity(self, states: Sequence[float]) -> float:
+        product = 1.0
+        for state in states:
+            product *= state
+        return product
+
+    def true_value(self, values: Sequence[float]) -> float:
+        if not values:
+            raise ProtocolError("cannot take the geometric mean of an empty value set")
+        product = 1.0
+        for value in values:
+            if value < 0:
+                raise ProtocolError("geometric mean requires non-negative values")
+            product *= value
+        return float(product ** (1.0 / len(values)))
+
+
+class PushSumFunction(AggregationFunction):
+    """Push-only averaging with (value, weight) pairs (Kempe et al., FOCS'03).
+
+    The initiator keeps half of its mass and pushes the other half to the
+    responder; estimates are ``value / weight``.  Mass conservation holds
+    over the *pair* of returned states, so the same exchange machinery can
+    drive it, but only the push direction transfers information — which is
+    why the paper's push–pull scheme converges roughly twice as fast per
+    cycle.  Included as the ablation baseline.
+    """
+
+    name = "push-sum"
+
+    def initial_state(self, local_value: float) -> Tuple[float, float]:
+        return (float(local_value), 1.0)
+
+    def merge(
+        self, initiator_state: Tuple[float, float], responder_state: Tuple[float, float]
+    ) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+        value_i, weight_i = initiator_state
+        value_r, weight_r = responder_state
+        half_value, half_weight = value_i / 2.0, weight_i / 2.0
+        new_initiator = (half_value, half_weight)
+        new_responder = (value_r + half_value, weight_r + half_weight)
+        return new_initiator, new_responder
+
+    def estimate(self, state: Tuple[float, float]) -> Optional[float]:
+        value, weight = state
+        if weight <= 0.0:
+            return None
+        return value / weight
+
+    def conserved_quantity(self, states: Sequence[Tuple[float, float]]) -> float:
+        return float(sum(value for value, _ in states))
+
+    def true_value(self, values: Sequence[float]) -> float:
+        if not values:
+            raise ProtocolError("cannot average an empty value set")
+        return float(sum(values) / len(values))
+
+
+class VectorFunction(AggregationFunction):
+    """Run several aggregation functions in parallel on tuple states.
+
+    This is the composition mechanism used throughout the library: SUM is a
+    vector of (AVERAGE over values, AVERAGE over a peak distribution),
+    VARIANCE is a vector of (AVERAGE over values, AVERAGE over squared
+    values), and the multiple-concurrent-instances robustness technique of
+    Section 7.3 is a vector of ``t`` COUNT instances.
+
+    The per-node state is a tuple with one component per sub-function; an
+    exchange merges every component, matching the paper's observation that
+    concurrent instances simply share the same message exchanges.
+    """
+
+    name = "vector"
+
+    def __init__(self, functions: Sequence[AggregationFunction]) -> None:
+        if not functions:
+            raise ProtocolError("VectorFunction requires at least one component")
+        self._functions = tuple(functions)
+
+    @property
+    def components(self) -> Tuple[AggregationFunction, ...]:
+        """The component functions, in order."""
+        return self._functions
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def initial_state(self, local_value) -> Tuple[Any, ...]:
+        """Initialise every component.
+
+        ``local_value`` may be a single number (broadcast to every
+        component) or a sequence with one entry per component.
+        """
+        values = self._broadcast(local_value)
+        return tuple(
+            function.initial_state(value)
+            for function, value in zip(self._functions, values)
+        )
+
+    def merge(self, initiator_state, responder_state):
+        new_initiator = []
+        new_responder = []
+        for function, state_i, state_r in zip(
+            self._functions, initiator_state, responder_state
+        ):
+            merged_i, merged_r = function.merge(state_i, state_r)
+            new_initiator.append(merged_i)
+            new_responder.append(merged_r)
+        return tuple(new_initiator), tuple(new_responder)
+
+    def estimate(self, state) -> Optional[float]:
+        """The estimate of the *first* component (a scalar summary).
+
+        Use :meth:`estimates` to read every component.
+        """
+        return self._functions[0].estimate(state[0])
+
+    def estimates(self, state) -> Tuple[Optional[float], ...]:
+        """Per-component estimates carried by ``state``."""
+        return tuple(
+            function.estimate(component)
+            for function, component in zip(self._functions, state)
+        )
+
+    def _broadcast(self, local_value):
+        if isinstance(local_value, (tuple, list)):
+            if len(local_value) != len(self._functions):
+                raise ProtocolError(
+                    f"expected {len(self._functions)} initial values, got {len(local_value)}"
+                )
+            return tuple(local_value)
+        return tuple(local_value for _ in self._functions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(type(f).__name__ for f in self._functions)
+        return f"VectorFunction([{inner}])"

@@ -1,0 +1,137 @@
+"""Multiple concurrent aggregation instances (Section 7.3).
+
+A single run of COUNT can be thrown off by an "unlucky" failure — for
+example the leader crashing in the first cycles, or a lost response that
+removes a large chunk of the conserved mass.  The paper's remedy is cheap:
+run ``t`` concurrent, independently initialised instances of the protocol
+(their states simply travel together in the same exchange messages), and
+at the end of the epoch have every node combine the ``t`` estimates with a
+symmetric trimmed mean — drop the ⌊t/3⌋ lowest and ⌊t/3⌋ highest values
+and average the rest.
+
+This module builds the vector function and initial values for
+multi-instance COUNT and provides the reducer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.errors import ConfigurationError
+from ..common.rng import RandomSource
+from ..common.validation import require_positive
+from ..analysis.statistics import trimmed_mean
+from .count import network_size_from_estimate
+from .functions import AverageFunction, VectorFunction
+
+__all__ = [
+    "MultiInstanceCount",
+    "multi_instance_peak_values",
+    "reduce_size_estimates",
+]
+
+
+def multi_instance_peak_values(
+    node_ids: Sequence[int], instance_count: int, rng: RandomSource
+) -> Tuple[Dict[int, Tuple[float, ...]], List[int]]:
+    """Initial values for ``instance_count`` concurrent COUNT instances.
+
+    Every instance independently picks one uniformly random leader that
+    starts with value 1; all other nodes start with 0 in that instance.
+
+    Returns
+    -------
+    A pair ``(values, leaders)`` where ``values`` maps every node id to a
+    tuple with one component per instance and ``leaders`` lists the leader
+    chosen for each instance.
+    """
+    require_positive(instance_count, "instance_count")
+    if not node_ids:
+        raise ConfigurationError("node_ids must not be empty")
+    leaders = [node_ids[rng.choice_index(len(node_ids))] for _ in range(instance_count)]
+    values: Dict[int, Tuple[float, ...]] = {}
+    leader_sets = [set([leader]) for leader in leaders]
+    for node in node_ids:
+        values[node] = tuple(
+            1.0 if node in leader_sets[index] else 0.0 for index in range(instance_count)
+        )
+    return values, leaders
+
+
+def reduce_size_estimates(
+    estimates: Sequence[Optional[float]], discard_fraction: float = 1.0 / 3.0
+) -> float:
+    """Combine per-instance averaging estimates into one size estimate.
+
+    Each estimate is first converted to a network-size guess (``1/x``);
+    infinite guesses (instances whose mass vanished) are kept so that the
+    trimming can discard them, exactly as ordering the raw estimates in
+    the paper does.
+
+    Parameters
+    ----------
+    estimates:
+        Per-instance converged averaging estimates (``None`` allowed).
+    discard_fraction:
+        The fraction trimmed from each end (the paper uses 1/3).
+    """
+    sizes = [network_size_from_estimate(estimate) for estimate in estimates]
+    if not sizes:
+        return math.inf
+    return trimmed_mean(sizes, discard_fraction)
+
+
+@dataclass
+class MultiInstanceCount:
+    """Bundle of everything needed to run a t-instance COUNT experiment.
+
+    Attributes
+    ----------
+    function:
+        A :class:`VectorFunction` of ``t`` independent AVERAGE components.
+    initial_values:
+        Mapping from node id to its t-component initial value tuple.
+    leaders:
+        The leader selected by each instance.
+    discard_fraction:
+        Trim fraction used when reducing the final estimates.
+    """
+
+    function: VectorFunction
+    initial_values: Dict[int, Tuple[float, ...]]
+    leaders: List[int]
+    discard_fraction: float = 1.0 / 3.0
+
+    @classmethod
+    def create(
+        cls,
+        node_ids: Sequence[int],
+        instance_count: int,
+        rng: RandomSource,
+        discard_fraction: float = 1.0 / 3.0,
+    ) -> "MultiInstanceCount":
+        """Build the function and initial values for ``instance_count`` instances."""
+        values, leaders = multi_instance_peak_values(node_ids, instance_count, rng)
+        function = VectorFunction([AverageFunction() for _ in range(instance_count)])
+        return cls(
+            function=function,
+            initial_values=values,
+            leaders=leaders,
+            discard_fraction=discard_fraction,
+        )
+
+    @property
+    def instance_count(self) -> int:
+        """Number of concurrent instances ``t``."""
+        return len(self.function)
+
+    def node_size_estimate(self, state: Tuple[float, ...]) -> float:
+        """The size estimate a node with vector state ``state`` would report."""
+        estimates = self.function.estimates(state)
+        return reduce_size_estimates(estimates, self.discard_fraction)
+
+    def size_estimates(self, states: Dict[int, Tuple[float, ...]]) -> Dict[int, float]:
+        """Per-node size estimates for a whole population of states."""
+        return {node: self.node_size_estimate(state) for node, state in states.items()}

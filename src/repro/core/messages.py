@@ -1,0 +1,85 @@
+"""Message types exchanged by the practical aggregation protocol.
+
+The event-driven implementation (:class:`~repro.core.node.AggregationNode`)
+communicates exclusively through these immutable payloads, which the
+event simulator delivers with latency and loss.  Every aggregation message
+carries the sender's epoch identifier, which is what drives the epidemic
+epoch synchronisation of Section 4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "ExchangeRequest",
+    "ExchangeResponse",
+    "StaleEpochNotice",
+    "JoinRequest",
+    "JoinResponse",
+]
+
+
+@dataclass(frozen=True)
+class ExchangeRequest:
+    """Push half of a push–pull exchange, sent by the active thread.
+
+    Attributes
+    ----------
+    epoch:
+        The initiator's current epoch identifier.
+    exchange_id:
+        Initiator-local sequence number used to match the response and to
+        ignore responses that arrive after the timeout fired.
+    state:
+        The initiator's protocol state (opaque to the transport).
+    """
+
+    epoch: int
+    exchange_id: int
+    state: Any
+
+
+@dataclass(frozen=True)
+class ExchangeResponse:
+    """Pull half of a push–pull exchange, sent back by the passive thread."""
+
+    epoch: int
+    exchange_id: int
+    state: Any
+
+
+@dataclass(frozen=True)
+class StaleEpochNotice:
+    """Tells a node that its exchange referenced an already finished epoch.
+
+    Sent instead of an :class:`ExchangeResponse` when the responder is
+    already participating in a newer epoch; carrying the newer identifier
+    lets the slow initiator catch up immediately.
+    """
+
+    epoch: int
+    exchange_id: int
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """Sent by a joining node to a known contact already in the network."""
+
+
+@dataclass(frozen=True)
+class JoinResponse:
+    """The contact's answer to a join: when and in which epoch to start.
+
+    Attributes
+    ----------
+    next_epoch:
+        Identifier of the next epoch, the first one the newcomer may join.
+    time_until_start:
+        The contact's estimate of the local time remaining until that
+        epoch starts.
+    """
+
+    next_epoch: int
+    time_until_start: float

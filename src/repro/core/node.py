@@ -1,0 +1,343 @@
+"""The full practical aggregation node (Figure 1 + Section 4 of the paper).
+
+:class:`AggregationNode` is the event-driven, message-passing realisation
+of the protocol: an *active thread* that fires every δ local time units,
+picks a random peer and pushes its state; a *passive thread* that answers
+incoming pushes with the local state; exchange timeouts that turn crashed
+or slow peers into skipped exchanges; epochs that restart the computation
+from fresh local values every Δ; epidemic epoch synchronisation; and a
+join procedure in which newcomers wait for the next epoch.
+
+The node runs on :class:`~repro.simulator.event_sim.EventDrivenNetwork`
+(delays, loss, clock drift) and draws peers from any
+:class:`~repro.topology.base.OverlayProvider`.  For large parameter sweeps
+the cycle-driven simulator is preferable; this class exists to exercise
+the *practical* machinery — timeouts, overlapping epochs, joins — that the
+cycle model abstracts away.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from ..common.errors import ProtocolError
+from ..common.rng import RandomSource
+from ..simulator.event_sim import EventDrivenNetwork, Message, SimulatedProcess
+from ..topology.base import OverlayProvider
+from .epoch import EpochConfig, EpochTracker
+from .functions import AggregationFunction
+from .messages import (
+    ExchangeRequest,
+    ExchangeResponse,
+    JoinRequest,
+    JoinResponse,
+    StaleEpochNotice,
+)
+
+__all__ = ["AggregationNode", "collect_estimates"]
+
+ValueProvider = Callable[[], Any]
+
+
+class AggregationNode(SimulatedProcess):
+    """One participant in the practical proactive aggregation protocol.
+
+    Parameters
+    ----------
+    function:
+        The aggregation function (AVERAGE, COUNT map, a vector...).
+    value_provider:
+        Zero-argument callable returning the node's *current* local value;
+        it is consulted at every epoch restart, which is what makes the
+        protocol adaptive to changing inputs.
+    overlay:
+        Peer sampling service (static topology or NEWSCAST).
+    epoch_config:
+        Timing parameters δ, γ, Δ.
+    rng:
+        Node-local randomness (peer selection, initial phase offset).
+    joined:
+        ``False`` creates a node that first executes the join procedure:
+        it contacts ``contact_node`` and starts participating only at the
+        next epoch boundary, as Section 4.2 prescribes.
+    contact_node:
+        Identifier of an existing node used to bootstrap a join.
+    """
+
+    def __init__(
+        self,
+        function: AggregationFunction,
+        value_provider: ValueProvider,
+        overlay: OverlayProvider,
+        epoch_config: EpochConfig,
+        rng: RandomSource,
+        joined: bool = True,
+        contact_node: Optional[int] = None,
+    ) -> None:
+        self._function = function
+        self._value_provider = value_provider
+        self._overlay = overlay
+        self._config = epoch_config
+        self._rng = rng
+        self._joined = joined
+        self._contact_node = contact_node
+        if not joined and contact_node is None:
+            raise ProtocolError("a joining node needs a contact_node")
+
+        self.tracker = EpochTracker(config=epoch_config)
+        self.state: Any = None
+        self._participating = joined
+        self._exchange_counter = 0
+        self._pending_exchange: Optional[int] = None
+        self._pending_timeout = None
+        #: Diagnostics: how many exchanges were initiated / completed /
+        #: timed out / refused because of epoch mismatch.
+        self.statistics: Dict[str, int] = {
+            "initiated": 0,
+            "completed": 0,
+            "timed_out": 0,
+            "responded": 0,
+            "epoch_jumps": 0,
+            "stale_requests": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # SimulatedProcess lifecycle
+    # ------------------------------------------------------------------
+    def start(self, network: EventDrivenNetwork) -> None:
+        if self._joined:
+            self._initialise_state()
+            # Desynchronise the active threads: first tick after a random
+            # fraction of a cycle, as real deployments would.
+            offset = self._rng.uniform(0.0, self._config.cycle_length)
+            network.set_timer(self.node_id, offset, lambda: self._active_tick(network))
+            network.set_timer(
+                self.node_id,
+                self._config.effective_epoch_length,
+                lambda: self._epoch_restart(network),
+            )
+        else:
+            network.send(self.node_id, self._contact_node, JoinRequest())
+
+    def handle_message(self, message: Message, network: EventDrivenNetwork) -> None:
+        payload = message.payload
+        if isinstance(payload, ExchangeRequest):
+            self._handle_request(message.sender, payload, network)
+        elif isinstance(payload, ExchangeResponse):
+            self._handle_response(payload)
+        elif isinstance(payload, StaleEpochNotice):
+            self._handle_stale_notice(payload)
+        elif isinstance(payload, JoinRequest):
+            self._handle_join_request(message.sender, network)
+        elif isinstance(payload, JoinResponse):
+            self._handle_join_response(payload, network)
+        else:
+            raise ProtocolError(f"unexpected message payload: {payload!r}")
+
+    # ------------------------------------------------------------------
+    # Public queries
+    # ------------------------------------------------------------------
+    @property
+    def is_participating(self) -> bool:
+        """Whether the node currently takes part in an epoch."""
+        return self._participating
+
+    def current_estimate(self) -> Optional[float]:
+        """The running estimate of the current epoch (``None`` before joining)."""
+        if self.state is None:
+            return None
+        return self._function.estimate(self.state)
+
+    def completed_epoch_results(self) -> Dict[int, float]:
+        """Estimates reported by every epoch this node completed."""
+        return dict(self.tracker.completed_results)
+
+    def latest_result(self) -> Optional[float]:
+        """The most recent completed-epoch estimate, if any."""
+        return self.tracker.latest_result()
+
+    # ------------------------------------------------------------------
+    # Active thread
+    # ------------------------------------------------------------------
+    def _active_tick(self, network: EventDrivenNetwork) -> None:
+        """One firing of the active thread: initiate an exchange, reschedule."""
+        network.set_timer(
+            self.node_id, self._config.cycle_length, lambda: self._active_tick(network)
+        )
+        if not self._participating or self.tracker.is_terminated:
+            return
+        peer = self._overlay.select_peer(self.node_id, self._rng)
+        self.tracker.complete_cycle()
+        if peer is None or peer == self.node_id:
+            return
+        self._exchange_counter += 1
+        exchange_id = self._exchange_counter
+        self._pending_exchange = exchange_id
+        self.statistics["initiated"] += 1
+        network.send(
+            self.node_id,
+            peer,
+            ExchangeRequest(
+                epoch=self.tracker.current_epoch, exchange_id=exchange_id, state=self.state
+            ),
+        )
+        timeout = network.delay_model.timeout
+        self._pending_timeout = network.set_timer(
+            self.node_id, timeout, lambda: self._exchange_timed_out(exchange_id)
+        )
+
+    def _exchange_timed_out(self, exchange_id: int) -> None:
+        if self._pending_exchange == exchange_id:
+            # The peer crashed or the message was lost: skip the exchange.
+            self._pending_exchange = None
+            self.statistics["timed_out"] += 1
+
+    # ------------------------------------------------------------------
+    # Passive thread
+    # ------------------------------------------------------------------
+    def _handle_request(
+        self, sender: int, request: ExchangeRequest, network: EventDrivenNetwork
+    ) -> None:
+        if not self._participating:
+            # Joined-but-waiting nodes refuse exchanges for the running
+            # epoch; the initiator's timeout treats this as a failure.
+            return
+        if request.epoch > self.tracker.current_epoch:
+            self._jump_to_epoch(request.epoch)
+        elif request.epoch < self.tracker.current_epoch:
+            self.statistics["stale_requests"] += 1
+            network.send(
+                self.node_id,
+                sender,
+                StaleEpochNotice(
+                    epoch=self.tracker.current_epoch, exchange_id=request.exchange_id
+                ),
+            )
+            return
+        # Reply with the *pre-update* local state, then update: this is the
+        # symmetric push–pull step of Figure 1.
+        network.send(
+            self.node_id,
+            sender,
+            ExchangeResponse(
+                epoch=self.tracker.current_epoch,
+                exchange_id=request.exchange_id,
+                state=self.state,
+            ),
+        )
+        _, new_responder = self._function.merge(request.state, self.state)
+        self.state = new_responder
+        self.statistics["responded"] += 1
+
+    def _handle_response(self, response: ExchangeResponse) -> None:
+        if response.exchange_id != self._pending_exchange:
+            # Late response after the timeout fired, or from a previous
+            # epoch: ignore it (the skip already happened).
+            return
+        self._pending_exchange = None
+        if self._pending_timeout is not None:
+            self._pending_timeout.cancel()
+            self._pending_timeout = None
+        if response.epoch > self.tracker.current_epoch:
+            self._jump_to_epoch(response.epoch)
+            return
+        if response.epoch < self.tracker.current_epoch:
+            return
+        new_initiator, _ = self._function.merge(self.state, response.state)
+        self.state = new_initiator
+        self.statistics["completed"] += 1
+
+    def _handle_stale_notice(self, notice: StaleEpochNotice) -> None:
+        if notice.exchange_id == self._pending_exchange:
+            self._pending_exchange = None
+            if self._pending_timeout is not None:
+                self._pending_timeout.cancel()
+                self._pending_timeout = None
+        if notice.epoch > self.tracker.current_epoch:
+            self._jump_to_epoch(notice.epoch)
+
+    # ------------------------------------------------------------------
+    # Epoch handling
+    # ------------------------------------------------------------------
+    def _initialise_state(self) -> None:
+        self.state = self._function.initial_state(self._value_provider())
+
+    def _jump_to_epoch(self, epoch_id: int) -> None:
+        """Adopt a newer epoch heard about on the wire (Section 4.3)."""
+        self.tracker.finish_epoch(self.current_estimate())
+        self.tracker.observe_epoch(epoch_id)
+        self._initialise_state()
+        self._pending_exchange = None
+        self.statistics["epoch_jumps"] += 1
+
+    def _epoch_restart(self, network: EventDrivenNetwork) -> None:
+        """Scheduled restart: report the finished epoch, start the next one."""
+        network.set_timer(
+            self.node_id,
+            self._config.effective_epoch_length,
+            lambda: self._epoch_restart(network),
+        )
+        if not self._participating:
+            return
+        self.tracker.finish_epoch(self.current_estimate())
+        self.tracker.start_epoch(self.tracker.current_epoch + 1)
+        self._initialise_state()
+        self._pending_exchange = None
+
+    # ------------------------------------------------------------------
+    # Join procedure (Section 4.2)
+    # ------------------------------------------------------------------
+    def _handle_join_request(self, sender: int, network: EventDrivenNetwork) -> None:
+        epoch_length = self._config.effective_epoch_length
+        # Time until this node's next restart; an out-of-band discovery
+        # mechanism is assumed to have provided `sender` with our address.
+        elapsed_in_epoch = network.now % epoch_length
+        network.send(
+            self.node_id,
+            sender,
+            JoinResponse(
+                next_epoch=self.tracker.current_epoch + 1,
+                time_until_start=epoch_length - elapsed_in_epoch,
+            ),
+        )
+        if not self._overlay.contains(sender):
+            self._overlay.on_node_added(sender, self._rng)
+
+    def _handle_join_response(self, response: JoinResponse, network: EventDrivenNetwork) -> None:
+        if self._participating:
+            return
+
+        def begin_participation() -> None:
+            self._participating = True
+            self.tracker.start_epoch(response.next_epoch)
+            self._initialise_state()
+            offset = self._rng.uniform(0.0, self._config.cycle_length)
+            network.set_timer(self.node_id, offset, lambda: self._active_tick(network))
+            network.set_timer(
+                self.node_id,
+                self._config.effective_epoch_length,
+                lambda: self._epoch_restart(network),
+            )
+
+        delay = max(0.0, response.time_until_start)
+        network.set_timer(self.node_id, delay, begin_participation)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        node = getattr(self, "node_id", None)
+        return (
+            f"AggregationNode(id={node}, epoch={self.tracker.current_epoch}, "
+            f"estimate={self.current_estimate()})"
+        )
+
+
+def collect_estimates(nodes: List[AggregationNode]) -> List[float]:
+    """Current estimates of all participating nodes with a finite estimate."""
+    values = []
+    for node in nodes:
+        if not node.is_participating:
+            continue
+        estimate = node.current_estimate()
+        if estimate is not None and math.isfinite(estimate):
+            values.append(estimate)
+    return values

@@ -1,0 +1,225 @@
+"""High-level convenience API for running one aggregation epoch.
+
+Most of the library exposes composable pieces (overlays, simulators,
+functions).  This module offers the one-call entry point used by the
+quickstart example and by downstream users who just want an answer:
+
+>>> from repro import aggregate
+>>> result = aggregate([3.0, 5.0, 10.0, 2.0] * 50, aggregate="average", seed=1)
+>>> round(result.mean_estimate, 3)
+5.0
+
+The call builds an overlay, runs the requested number of push–pull cycles
+of the appropriate (possibly composite) protocol over a cycle-driven
+simulation, and returns the per-node outputs together with accuracy
+information and the full measurement trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Union
+
+from ..common.errors import ConfigurationError
+from ..common.rng import RandomSource
+from ..simulator.cycle_sim import CycleSimulator
+from ..simulator.failures import FailureModel
+from ..simulator.metrics import SimulationTrace
+from ..simulator.transport import PERFECT_TRANSPORT, TransportModel
+from ..topology.generators import TopologySpec, build_overlay
+from .derived import (
+    DerivedAggregate,
+    MeanAggregate,
+    NetworkSizeAggregate,
+    ProductAggregate,
+    SumAggregate,
+    VarianceAggregate,
+)
+from .functions import GeometricMeanFunction, MaxFunction, MinFunction
+
+__all__ = ["AggregationResult", "aggregate", "KNOWN_AGGREGATES"]
+
+
+class _SimpleAggregate(DerivedAggregate):
+    """Adapter exposing a primitive function through the DerivedAggregate API."""
+
+    def __init__(self, function) -> None:
+        self._function = function
+        self.name = function.name
+
+    @property
+    def function(self):
+        return self._function
+
+    def initial_values(self, values: Sequence[float]) -> Dict[int, float]:
+        return {index: float(value) for index, value in enumerate(values)}
+
+    def finalize(self, state) -> float:
+        estimate = self._function.estimate(state)
+        return math.nan if estimate is None else float(estimate)
+
+    def true_value(self, values: Sequence[float]) -> float:
+        return self._function.true_value(values)
+
+
+def _aggregate_by_name(name: str) -> DerivedAggregate:
+    name = name.lower()
+    if name in ("average", "mean", "avg"):
+        return MeanAggregate()
+    if name in ("count", "size", "network-size"):
+        return NetworkSizeAggregate()
+    if name == "sum":
+        return SumAggregate()
+    if name == "product":
+        return ProductAggregate()
+    if name in ("variance", "var"):
+        return VarianceAggregate()
+    if name == "min":
+        return _SimpleAggregate(MinFunction())
+    if name == "max":
+        return _SimpleAggregate(MaxFunction())
+    if name in ("geometric-mean", "geomean"):
+        return _SimpleAggregate(GeometricMeanFunction())
+    raise ConfigurationError(
+        f"unknown aggregate {name!r}; expected one of {sorted(KNOWN_AGGREGATES)}"
+    )
+
+
+#: Aggregate names accepted by :func:`aggregate`.
+KNOWN_AGGREGATES = frozenset(
+    {
+        "average",
+        "mean",
+        "avg",
+        "count",
+        "size",
+        "network-size",
+        "sum",
+        "product",
+        "variance",
+        "var",
+        "min",
+        "max",
+        "geometric-mean",
+        "geomean",
+    }
+)
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of one :func:`aggregate` call.
+
+    Attributes
+    ----------
+    aggregate_name:
+        Which aggregate was computed.
+    node_estimates:
+        The per-node outputs after the final cycle (already converted by
+        the aggregate's ``finalize`` step — e.g. COUNT reports sizes, not
+        reciprocals).
+    mean_estimate:
+        Mean of the finite per-node outputs; the number most callers want.
+    true_value:
+        The exact answer computed centrally from the input values.
+    relative_error:
+        ``|mean_estimate − true_value| / |true_value|`` (``inf`` when the
+        estimate is not finite).
+    trace:
+        The full per-cycle measurement trace of the underlying protocol.
+    """
+
+    aggregate_name: str
+    node_estimates: Dict[int, float]
+    mean_estimate: float
+    true_value: float
+    relative_error: float
+    trace: SimulationTrace = field(repr=False)
+
+    def max_node_error(self) -> float:
+        """Worst relative error over all nodes (``inf`` if any diverged)."""
+        if self.true_value == 0.0:
+            return max(abs(v) for v in self.node_estimates.values())
+        errors = []
+        for value in self.node_estimates.values():
+            if not math.isfinite(value):
+                return math.inf
+            errors.append(abs(value - self.true_value) / abs(self.true_value))
+        return max(errors) if errors else math.inf
+
+
+def aggregate(
+    values: Sequence[float],
+    aggregate: Union[str, DerivedAggregate] = "average",
+    topology: Optional[TopologySpec] = None,
+    cycles: int = 30,
+    seed: int = 0,
+    transport: TransportModel = PERFECT_TRANSPORT,
+    failure_model: Optional[FailureModel] = None,
+) -> AggregationResult:
+    """Run one epoch of proactive aggregation over the given local values.
+
+    Parameters
+    ----------
+    values:
+        The local value of every node; node ``i`` holds ``values[i]`` and
+        the network size is ``len(values)``.
+    aggregate:
+        Either the name of a built-in aggregate (see
+        :data:`KNOWN_AGGREGATES`) or a custom
+        :class:`~repro.core.derived.DerivedAggregate` instance.
+    topology:
+        The overlay to gossip over; defaults to the paper's random overlay
+        with 20-neighbour views (capped below the network size).
+    cycles:
+        Number of push–pull cycles (γ); the paper's default epoch length
+        of 30 cycles reduces the variance by roughly 20 orders of
+        magnitude on a random overlay.
+    seed:
+        Root seed controlling every random choice.
+    transport:
+        Optional communication failure model.
+    failure_model:
+        Optional node failure/churn model.
+    """
+    if len(values) < 2:
+        raise ConfigurationError("need at least two nodes to aggregate")
+    derived = aggregate if isinstance(aggregate, DerivedAggregate) else _aggregate_by_name(aggregate)
+
+    size = len(values)
+    if topology is None:
+        degree = min(20, size - 1)
+        topology = TopologySpec("random", degree=degree)
+
+    rng = RandomSource(seed)
+    overlay = build_overlay(topology, size, rng.child("topology"))
+    simulator = CycleSimulator(
+        overlay=overlay,
+        function=derived.function,
+        initial_values=derived.initial_values(list(values)),
+        rng=rng.child("simulation"),
+        transport=transport,
+        failure_model=failure_model,
+    )
+    trace = simulator.run(cycles)
+
+    node_estimates = derived.finalize_all(simulator.states())
+    finite = [value for value in node_estimates.values() if math.isfinite(value)]
+    mean_estimate = sum(finite) / len(finite) if finite else math.inf
+    true_value = derived.true_value(list(values))
+    if not math.isfinite(mean_estimate):
+        error = math.inf
+    elif true_value == 0.0:
+        error = abs(mean_estimate)
+    else:
+        error = abs(mean_estimate - true_value) / abs(true_value)
+
+    return AggregationResult(
+        aggregate_name=derived.name,
+        node_estimates=node_estimates,
+        mean_estimate=mean_estimate,
+        true_value=true_value,
+        relative_error=error,
+        trace=trace,
+    )

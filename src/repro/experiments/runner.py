@@ -1,0 +1,95 @@
+"""Plumbing shared by every figure reproduction.
+
+The figure functions all follow the same pattern: for a sweep of parameter
+values, repeat a scenario several times with independent seeds, run the
+cycle simulator, and extract a statistic.  This module centralises the
+repetitive parts (building overlays, seeding runs, generating value
+distributions) so each figure reads as a declarative description of the
+paper's experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from ..common.rng import RandomSource
+from ..core.functions import AggregationFunction, AverageFunction
+from ..core.count import peak_initial_values
+from ..simulator.cycle_sim import CycleSimulator
+from ..simulator.failures import FailureModel
+from ..simulator.metrics import SimulationTrace
+from ..simulator.transport import PERFECT_TRANSPORT, TransportModel
+from ..topology.generators import TopologySpec, build_overlay
+
+__all__ = [
+    "uniform_initial_values",
+    "peak_values_for_count",
+    "run_average_once",
+    "repeat_traces",
+    "repeat_simulations",
+]
+
+T = TypeVar("T")
+
+
+def uniform_initial_values(size: int, rng: RandomSource, low: float = 0.0, high: float = 100.0) -> List[float]:
+    """Uniformly random local values, the generic workload for AVERAGE runs."""
+    return [rng.uniform(low, high) for _ in range(size)]
+
+
+def peak_values_for_count(size: int, peak_value: Optional[float] = None) -> List[float]:
+    """The peak distribution used by COUNT (leader holds 1, or ``peak_value``)."""
+    return peak_initial_values(size, leader=0, peak_value=1.0 if peak_value is None else peak_value)
+
+
+def run_average_once(
+    topology: TopologySpec,
+    size: int,
+    values: Sequence[float],
+    cycles: int,
+    rng: RandomSource,
+    transport: TransportModel = PERFECT_TRANSPORT,
+    failure_model: Optional[FailureModel] = None,
+    function: Optional[AggregationFunction] = None,
+) -> CycleSimulator:
+    """Build and run one cycle-driven simulation; return the simulator.
+
+    The returned simulator exposes both the trace (for convergence
+    measures) and the final states (for COUNT-style post-processing).
+    """
+    overlay = build_overlay(topology, size, rng.child("topology"))
+    simulator = CycleSimulator(
+        overlay=overlay,
+        function=function or AverageFunction(),
+        initial_values=list(values),
+        rng=rng.child("simulation"),
+        transport=transport,
+        failure_model=failure_model,
+    )
+    simulator.run(cycles)
+    return simulator
+
+
+def repeat_traces(
+    repeats: int,
+    seed: int,
+    make_run: Callable[[int, RandomSource], SimulationTrace],
+) -> List[SimulationTrace]:
+    """Run ``make_run`` ``repeats`` times with independent child seeds."""
+    root = RandomSource(seed)
+    return [make_run(index, root.child("run", index)) for index in range(repeats)]
+
+
+def repeat_simulations(
+    repeats: int,
+    seed: int,
+    make_run: Callable[[int, RandomSource], T],
+) -> List[T]:
+    """Generic repetition helper returning whatever ``make_run`` produces."""
+    root = RandomSource(seed)
+    return [make_run(index, root.child("run", index)) for index in range(repeats)]
+
+
+def sweep(values: Sequence, runner: Callable[[object], T]) -> Dict[object, T]:
+    """Apply ``runner`` to every swept parameter value, preserving order."""
+    return {value: runner(value) for value in values}

@@ -1,0 +1,6 @@
+"""NEWSCAST: the epidemic membership protocol used as the dynamic overlay."""
+
+from .cache import CacheEntry, NewscastCache
+from .protocol import NewscastOverlay
+
+__all__ = ["CacheEntry", "NewscastCache", "NewscastOverlay"]

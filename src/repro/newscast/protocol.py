@@ -1,0 +1,239 @@
+"""The NEWSCAST membership protocol as an overlay provider.
+
+NEWSCAST maintains, at every node, a small cache of recently-heard-of peers
+(see :mod:`repro.newscast.cache`).  Once per cycle every live node picks a
+random peer from its cache and the two swap and merge caches, each keeping
+the ``c`` freshest descriptors.  Nodes keep re-injecting fresh descriptors
+of themselves, so information about crashed nodes ages out and the overlay
+continuously re-randomises itself — which is exactly what the aggregation
+protocol needs from its underlying topology.
+
+The class implements :class:`~repro.topology.base.OverlayProvider`:
+
+* ``select_peer`` draws a random cache entry for the *aggregation*
+  protocol to gossip with (the returned peer may have crashed, in which
+  case the aggregation exchange simply times out and is skipped — the
+  behaviour the paper describes);
+* ``after_cycle`` runs one round of NEWSCAST exchanges, which is how the
+  cycle-driven simulator drives membership maintenance alongside
+  aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..common.errors import MembershipError
+from ..common.rng import RandomSource
+from ..common.validation import require, require_positive
+from ..topology.base import OverlayProvider
+from .cache import CacheEntry, NewscastCache
+
+__all__ = ["NewscastOverlay"]
+
+
+class NewscastOverlay(OverlayProvider):
+    """Dynamic overlay maintained by the NEWSCAST protocol.
+
+    Parameters
+    ----------
+    cache_size:
+        The cache capacity ``c`` (the paper uses ``c = 30`` for its
+        aggregation experiments and studies ``c ∈ [2, 50]`` in Fig. 4b).
+    rng:
+        Randomness source used for bootstrap and exchanges.
+    """
+
+    def __init__(self, cache_size: int, rng: RandomSource) -> None:
+        require_positive(cache_size, "cache_size")
+        self._cache_size = int(cache_size)
+        self._rng = rng
+        self._caches: Dict[int, NewscastCache] = {}
+        self._alive: Set[int] = set()
+        self._clock: float = 0.0
+        self.name = f"newscast(c={cache_size})"
+        #: Number of NEWSCAST exchanges performed in the most recent cycle.
+        self.last_cycle_exchanges = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def bootstrap(
+        cls,
+        size: int,
+        cache_size: int,
+        rng: RandomSource,
+        warmup_cycles: int = 5,
+    ) -> "NewscastOverlay":
+        """Create an overlay of ``size`` nodes with warmed-up caches.
+
+        Nodes are initialised with ``cache_size`` uniformly random peers
+        (timestamp 0) and then ``warmup_cycles`` NEWSCAST rounds are run so
+        the cache contents resemble the steady state of the protocol
+        before aggregation starts, as in the paper's experiments.
+        """
+        require_positive(size, "size")
+        overlay = cls(cache_size, rng)
+        for node in range(size):
+            overlay._alive.add(node)
+            overlay._caches[node] = NewscastCache(cache_size)
+        fill = min(cache_size, max(1, size - 1))
+        for node in range(size):
+            cache = overlay._caches[node]
+            for raw in rng.sample_indices(size - 1, fill):
+                peer = int(raw)
+                if peer >= node:
+                    peer += 1
+                cache.insert(CacheEntry(timestamp=0.0, peer_id=peer))
+        for _ in range(max(0, warmup_cycles)):
+            overlay.after_cycle(rng)
+        return overlay
+
+    # ------------------------------------------------------------------
+    # OverlayProvider interface
+    # ------------------------------------------------------------------
+    def node_ids(self) -> List[int]:
+        return sorted(self._alive)
+
+    def neighbors(self, node_id: int) -> Sequence[int]:
+        cache = self._caches.get(node_id)
+        if cache is None:
+            raise MembershipError(f"unknown node {node_id}")
+        return tuple(cache.peer_ids())
+
+    def select_peer(self, node_id: int, rng: RandomSource) -> Optional[int]:
+        cache = self._caches.get(node_id)
+        if cache is None:
+            return None
+        return cache.random_peer(rng)
+
+    def on_node_removed(self, node_id: int) -> None:
+        # Crashed nodes stop exchanging; their descriptors age out of other
+        # caches naturally.  We only drop the node's own state.
+        self._alive.discard(node_id)
+        self._caches.pop(node_id, None)
+
+    def on_node_added(self, node_id: int, rng: RandomSource) -> None:
+        if node_id in self._alive:
+            raise MembershipError(f"node {node_id} already exists")
+        self._alive.add(node_id)
+        cache = NewscastCache(self._cache_size)
+        contact = self._random_live_node(exclude=node_id, rng=rng)
+        if contact is not None:
+            # The joining node learns the contact plus the contact's view.
+            cache.insert(CacheEntry(timestamp=self._clock, peer_id=contact))
+            for entry in self._caches[contact].entries():
+                if entry.peer_id != node_id:
+                    cache.insert(entry)
+            # The contact also hears about the new node right away.
+            self._caches[contact].insert(CacheEntry(timestamp=self._clock, peer_id=node_id))
+        self._caches[node_id] = cache
+
+    def after_cycle(self, rng: RandomSource) -> None:
+        """Run one round of NEWSCAST exchanges over all live nodes."""
+        self._clock += 1.0
+        exchanges = 0
+        order = list(self._alive)
+        rng.shuffle_in_place(order)
+        for node in order:
+            cache = self._caches.get(node)
+            if cache is None:
+                continue
+            peer = cache.random_peer(rng)
+            if peer is None:
+                continue
+            if peer not in self._alive:
+                # The selected peer has crashed: the exchange times out and
+                # nothing is merged.  The stale entry will be displaced by
+                # fresher news in subsequent merges.
+                continue
+            self._exchange(node, peer)
+            exchanges += 1
+        self.last_cycle_exchanges = exchanges
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _exchange(self, initiator: int, responder: int) -> None:
+        cache_a = self._caches[initiator]
+        cache_b = self._caches[responder]
+        merged_a = cache_a.merged_with(cache_b, own_id=initiator, other_id=responder, now=self._clock)
+        merged_b = cache_b.merged_with(cache_a, own_id=responder, other_id=initiator, now=self._clock)
+        self._caches[initiator] = merged_a
+        self._caches[responder] = merged_b
+
+    def _random_live_node(self, exclude: int, rng: RandomSource) -> Optional[int]:
+        candidates = [node for node in self._alive if node != exclude]
+        if not candidates:
+            return None
+        return candidates[rng.choice_index(len(candidates))]
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by tests and analysis
+    # ------------------------------------------------------------------
+    @property
+    def cache_size(self) -> int:
+        """The configured cache capacity ``c``."""
+        return self._cache_size
+
+    @property
+    def clock(self) -> float:
+        """The overlay's logical clock (one tick per NEWSCAST cycle)."""
+        return self._clock
+
+    def cache_of(self, node_id: int) -> NewscastCache:
+        """The (live) cache of ``node_id`` — mainly for tests and analysis."""
+        cache = self._caches.get(node_id)
+        if cache is None:
+            raise MembershipError(f"unknown node {node_id}")
+        return cache
+
+    def stale_reference_fraction(self) -> float:
+        """Fraction of cache entries across live nodes that point to dead peers.
+
+        A low value indicates the self-repair property is working.
+        """
+        total = 0
+        stale = 0
+        for node in self._alive:
+            for peer in self._caches[node].peer_ids():
+                total += 1
+                if peer not in self._alive:
+                    stale += 1
+        if total == 0:
+            return 0.0
+        return stale / total
+
+    def in_degree_distribution(self) -> Dict[int, int]:
+        """How many live caches reference each live node."""
+        counts: Dict[int, int] = {node: 0 for node in self._alive}
+        for node in self._alive:
+            for peer in self._caches[node].peer_ids():
+                if peer in counts:
+                    counts[peer] += 1
+        return counts
+
+    def is_weakly_connected(self) -> bool:
+        """Whether the directed cache graph is connected when undirected."""
+        if not self._alive:
+            return True
+        adjacency: Dict[int, Set[int]] = {node: set() for node in self._alive}
+        for node in self._alive:
+            for peer in self._caches[node].peer_ids():
+                if peer in adjacency:
+                    adjacency[node].add(peer)
+                    adjacency[peer].add(node)
+        start = next(iter(self._alive))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return len(seen) == len(self._alive)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NewscastOverlay(c={self._cache_size}, nodes={len(self._alive)})"

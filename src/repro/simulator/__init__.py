@@ -1,0 +1,52 @@
+"""Simulation substrates: cycle-driven and event-driven engines, failures."""
+
+from .cycle_sim import CycleSimulator
+from .engine import EventHandle, EventScheduler
+from .event_sim import EventDrivenNetwork, Message, SimulatedProcess
+from .failures import (
+    ChurnModel,
+    CompositeFailureModel,
+    CountCrashModel,
+    FailureModel,
+    NoFailures,
+    ProportionalCrashModel,
+    SuddenDeathModel,
+)
+from .metrics import (
+    CycleRecord,
+    SimulationTrace,
+    empirical_mean,
+    empirical_variance,
+    summarize_traces,
+)
+from .transport import (
+    PERFECT_TRANSPORT,
+    DelayModel,
+    ExchangeOutcome,
+    TransportModel,
+)
+
+__all__ = [
+    "CycleSimulator",
+    "EventScheduler",
+    "EventHandle",
+    "EventDrivenNetwork",
+    "Message",
+    "SimulatedProcess",
+    "FailureModel",
+    "NoFailures",
+    "ProportionalCrashModel",
+    "SuddenDeathModel",
+    "ChurnModel",
+    "CountCrashModel",
+    "CompositeFailureModel",
+    "CycleRecord",
+    "SimulationTrace",
+    "empirical_mean",
+    "empirical_variance",
+    "summarize_traces",
+    "TransportModel",
+    "DelayModel",
+    "ExchangeOutcome",
+    "PERFECT_TRANSPORT",
+]

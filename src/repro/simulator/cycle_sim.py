@@ -1,0 +1,335 @@
+"""Cycle-driven simulator for epidemic aggregation.
+
+This is the Python equivalent of the PeerSim cycle-based engine the paper
+used for its experiments.  Time advances in discrete cycles; in every
+cycle
+
+1. the failure model injects crashes / churn (*before* the exchanges, the
+   paper's worst case),
+2. every participating node, in random order, initiates one push–pull
+   exchange with a peer chosen by the overlay, subject to the transport's
+   link-failure and message-loss model,
+3. the overlay runs its own maintenance (NEWSCAST exchanges), and
+4. the empirical mean/variance/min/max of the local estimates are recorded.
+
+The simulator is deliberately agnostic of the aggregation function: it
+stores one opaque state per node and delegates the UPDATE step to an
+:class:`~repro.core.functions.AggregationFunction`, which is how AVERAGE,
+COUNT, multi-instance vectors and the push-sum baseline all run on the
+same engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..common.errors import ConfigurationError, SimulationError
+from ..common.rng import RandomSource
+from ..core.functions import AggregationFunction
+from ..topology.base import OverlayProvider
+from .failures import FailureModel, NoFailures
+from .metrics import CycleRecord, SimulationTrace, empirical_mean, empirical_variance
+from .transport import PERFECT_TRANSPORT, ExchangeOutcome, TransportModel
+
+__all__ = ["CycleSimulator"]
+
+InitialValues = Union[Sequence[Any], Mapping[int, Any]]
+
+
+class CycleSimulator:
+    """Run the push–pull aggregation protocol over an overlay, cycle by cycle.
+
+    Parameters
+    ----------
+    overlay:
+        The overlay network providing peer selection (a static topology,
+        the complete overlay, or a NEWSCAST instance).
+    function:
+        The aggregation function defining state initialisation and the
+        UPDATE step.
+    initial_values:
+        Per-node initial values, either a sequence indexed by node id or a
+        mapping from node id to value.  Every overlay node must be covered.
+    rng:
+        Root randomness source; the simulator derives child streams for
+        peer selection, transports, failures and overlay maintenance so
+        results are reproducible from a single seed.
+    transport:
+        Communication failure model (default: perfect communication).
+    failure_model:
+        Node failure/churn model (default: no failures).
+    Notes
+    -----
+    Asymmetric (push-only) schemes such as
+    :class:`~repro.core.functions.PushSumFunction` need no special engine
+    support: the asymmetry lives entirely in the function's ``merge``
+    result, which returns different states for initiator and responder.
+    """
+
+    def __init__(
+        self,
+        overlay: OverlayProvider,
+        function: AggregationFunction,
+        initial_values: InitialValues,
+        rng: RandomSource,
+        transport: TransportModel = PERFECT_TRANSPORT,
+        failure_model: Optional[FailureModel] = None,
+    ) -> None:
+        self._overlay = overlay
+        self._function = function
+        self._transport = transport
+        self._failure_model = failure_model or NoFailures()
+
+        self._selection_rng = rng.child("selection")
+        self._transport_rng = rng.child("transport")
+        self._failure_rng = rng.child("failures")
+        self._overlay_rng = rng.child("overlay")
+        self._membership_rng = rng.child("membership")
+
+        node_ids = overlay.node_ids()
+        values = self._normalise_initial_values(initial_values, node_ids)
+        self._states: Dict[int, Any] = {
+            node: function.initial_state(values[node]) for node in node_ids
+        }
+        self._participants = set(node_ids)
+        self._non_participants: set[int] = set()
+        self._crashed: set[int] = set()
+        self._next_node_id = max(node_ids) + 1 if node_ids else 0
+
+        self._cycle_index = 0
+        self._trace = SimulationTrace()
+        self.last_cycle_contact_counts: Dict[int, int] = {}
+        self._record_cycle(completed=0, failed=0)
+
+    # ------------------------------------------------------------------
+    # Public accessors
+    # ------------------------------------------------------------------
+    @property
+    def overlay(self) -> OverlayProvider:
+        """The overlay network driving peer selection."""
+        return self._overlay
+
+    @property
+    def function(self) -> AggregationFunction:
+        """The aggregation function in use."""
+        return self._function
+
+    @property
+    def trace(self) -> SimulationTrace:
+        """The per-cycle measurement trace collected so far."""
+        return self._trace
+
+    @property
+    def cycle_index(self) -> int:
+        """Number of cycles executed so far."""
+        return self._cycle_index
+
+    def participant_ids(self) -> List[int]:
+        """Identifiers of the nodes participating in the current epoch."""
+        return list(self._participants)
+
+    def non_participant_ids(self) -> List[int]:
+        """Identifiers of joined nodes waiting for the next epoch."""
+        return list(self._non_participants)
+
+    def crashed_ids(self) -> List[int]:
+        """Identifiers of nodes that crashed during this run."""
+        return list(self._crashed)
+
+    def state_of(self, node_id: int) -> Any:
+        """The protocol state currently held by ``node_id``."""
+        try:
+            return self._states[node_id]
+        except KeyError as exc:
+            raise SimulationError(f"node {node_id} is not participating") from exc
+
+    def states(self) -> Dict[int, Any]:
+        """A copy of the mapping from participant id to protocol state."""
+        return dict(self._states)
+
+    def estimates(self) -> Dict[int, Optional[float]]:
+        """Current aggregate estimate at every participating node."""
+        return {node: self._function.estimate(state) for node, state in self._states.items()}
+
+    def finite_estimates(self) -> List[float]:
+        """All current estimates that are actual finite numbers."""
+        return [
+            value
+            for value in self.estimates().values()
+            if value is not None and math.isfinite(value)
+        ]
+
+    # ------------------------------------------------------------------
+    # Membership operations (used by failure models and by callers)
+    # ------------------------------------------------------------------
+    def crash_node(self, node_id: int) -> None:
+        """Remove a node: its state becomes permanently inaccessible."""
+        if node_id in self._crashed:
+            return
+        self._states.pop(node_id, None)
+        self._participants.discard(node_id)
+        self._non_participants.discard(node_id)
+        self._crashed.add(node_id)
+        self._overlay.on_node_removed(node_id)
+
+    def add_node(self, value: Any = 0.0, participating: bool = False) -> int:
+        """Add a brand-new node to the overlay and return its identifier.
+
+        ``participating=False`` (the default) models the paper's rule that
+        joining nodes wait for the next epoch: the node becomes part of the
+        overlay, and refuses aggregation exchanges until
+        :meth:`promote_non_participants` (an epoch restart) is called.
+        """
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        self._overlay.on_node_added(node_id, self._membership_rng)
+        if participating:
+            self._states[node_id] = self._function.initial_state(value)
+            self._participants.add(node_id)
+        else:
+            self._non_participants.add(node_id)
+        return node_id
+
+    def promote_non_participants(self, values: Optional[Mapping[int, Any]] = None) -> List[int]:
+        """Let all waiting nodes join the protocol (an epoch restart).
+
+        Parameters
+        ----------
+        values:
+            Optional mapping from node id to the local value the node
+            enters the new epoch with (default 0.0).
+
+        Returns
+        -------
+        The identifiers that were promoted.
+        """
+        promoted = sorted(self._non_participants)
+        for node_id in promoted:
+            value = 0.0 if values is None else values.get(node_id, 0.0)
+            self._states[node_id] = self._function.initial_state(value)
+            self._participants.add(node_id)
+        self._non_participants.clear()
+        return promoted
+
+    def restart_epoch(self, values: Mapping[int, Any]) -> None:
+        """Re-initialise every participant's state from fresh local values.
+
+        Models the automatic restarting of Section 4.1: the previous
+        estimates are discarded and aggregation starts again from the
+        current local values.  Waiting (joined) nodes are promoted first.
+        """
+        self.promote_non_participants()
+        for node_id in self._participants:
+            if node_id not in values:
+                raise ConfigurationError(f"missing restart value for node {node_id}")
+            self._states[node_id] = self._function.initial_state(values[node_id])
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_cycle(self) -> CycleRecord:
+        """Execute one full cycle and return its measurement record."""
+        self._cycle_index += 1
+        self._failure_model.apply(self, self._cycle_index, self._failure_rng)
+
+        completed = 0
+        failed = 0
+        contact_counts: Dict[int, int] = {node: 0 for node in self._participants}
+
+        order = list(self._participants)
+        self._selection_rng.shuffle_in_place(order)
+        for initiator in order:
+            if initiator not in self._participants:
+                # The node crashed earlier in this very cycle (composite
+                # failure models may remove nodes mid-list).
+                continue
+            peer = self._overlay.select_peer(initiator, self._selection_rng)
+            if peer is None:
+                failed += 1
+                continue
+            if peer not in self._participants:
+                # Crashed peer (timeout) or a freshly joined node refusing
+                # exchanges for the current epoch.
+                failed += 1
+                continue
+            outcome = self._transport.classify_exchange(self._transport_rng)
+            if outcome is ExchangeOutcome.DROPPED:
+                failed += 1
+                continue
+            new_initiator, new_responder = self._function.merge(
+                self._states[initiator], self._states[peer]
+            )
+            if outcome is ExchangeOutcome.RESPONSE_LOST:
+                # The responder already updated; the initiator never saw
+                # the reply and keeps its old state.
+                self._states[peer] = new_responder
+                failed += 1
+            else:
+                self._states[initiator] = new_initiator
+                self._states[peer] = new_responder
+                completed += 1
+            contact_counts[initiator] = contact_counts.get(initiator, 0) + 1
+            contact_counts[peer] = contact_counts.get(peer, 0) + 1
+
+        self._overlay.after_cycle(self._overlay_rng)
+        self.last_cycle_contact_counts = contact_counts
+        return self._record_cycle(completed=completed, failed=failed)
+
+    def run(self, cycles: int) -> SimulationTrace:
+        """Run ``cycles`` consecutive cycles and return the trace."""
+        if cycles < 0:
+            raise ConfigurationError("cycles must be non-negative")
+        for _ in range(cycles):
+            self.run_cycle()
+        return self._trace
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _record_cycle(self, completed: int, failed: int) -> CycleRecord:
+        estimates = self.finite_estimates()
+        if estimates:
+            mean = empirical_mean(estimates)
+            variance = empirical_variance(estimates)
+            minimum = min(estimates)
+            maximum = max(estimates)
+        else:
+            mean = math.nan
+            variance = 0.0
+            minimum = math.nan
+            maximum = math.nan
+        record = CycleRecord(
+            cycle=self._cycle_index,
+            participant_count=len(self._participants),
+            mean=mean,
+            variance=variance,
+            minimum=minimum,
+            maximum=maximum,
+            completed_exchanges=completed,
+            failed_exchanges=failed,
+        )
+        self._trace.add(record)
+        return record
+
+    @staticmethod
+    def _normalise_initial_values(
+        initial_values: InitialValues, node_ids: Iterable[int]
+    ) -> Dict[int, Any]:
+        node_ids = list(node_ids)
+        if isinstance(initial_values, Mapping):
+            values = dict(initial_values)
+        else:
+            values = {index: value for index, value in enumerate(initial_values)}
+        missing = [node for node in node_ids if node not in values]
+        if missing:
+            raise ConfigurationError(
+                f"initial values missing for {len(missing)} nodes (e.g. {missing[:5]})"
+            )
+        return values
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CycleSimulator(function={self._function.name}, "
+            f"participants={len(self._participants)}, cycle={self._cycle_index})"
+        )

@@ -1,0 +1,151 @@
+"""A minimal discrete-event scheduler.
+
+The event-driven simulator (:mod:`repro.simulator.event_sim`) models the
+asynchronous reality the paper's practical protocol is designed for:
+message delays, timeouts, clock drift and epochs that are *not* in lock
+step.  This module provides the underlying priority-queue scheduler; it
+knows nothing about networks or protocols.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..common.errors import SimulationError
+
+__all__ = ["EventHandle", "EventScheduler"]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry; ordering is by (time, sequence number)."""
+
+    time: float
+    sequence: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventScheduler.schedule`; allows cancellation."""
+
+    __slots__ = ("callback", "cancelled", "time")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (safe to call multiple times)."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Priority-queue based discrete event scheduler.
+
+    Events are callables scheduled at absolute simulated times.  Ties are
+    broken by insertion order, which keeps runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_QueueEntry] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The current simulated time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def is_empty(self) -> bool:
+        """Whether no (non-cancelled) events remain."""
+        return all(entry.handle.cancelled for entry in self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (now={self._now}, requested={time})"
+            )
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._counter), handle))
+        return handle
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event; return ``False`` if none remained."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.handle.cancelled:
+                continue
+            self._now = entry.time
+            self._processed += 1
+            entry.handle.callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Run events with time ≤ ``end_time``; return how many were executed.
+
+        Parameters
+        ----------
+        end_time:
+            The simulation horizon; the clock is advanced to this value
+            even if the queue drains earlier.
+        max_events:
+            Optional safety valve against runaway event loops.
+        """
+        executed = 0
+        while self._queue:
+            entry = self._queue[0]
+            if entry.time > end_time:
+                break
+            heapq.heappop(self._queue)
+            if entry.handle.cancelled:
+                continue
+            self._now = entry.time
+            self._processed += 1
+            entry.handle.callback()
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"exceeded the maximum of {max_events} events before reaching t={end_time}"
+                )
+        self._now = max(self._now, end_time)
+        return executed
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Run until the queue is empty; return the number of executed events."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(f"exceeded the maximum of {max_events} events")
+        return executed

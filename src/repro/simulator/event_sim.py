@@ -1,0 +1,231 @@
+"""Event-driven network simulator.
+
+While the cycle-driven engine (:mod:`repro.simulator.cycle_sim`) is ideal
+for large parameter sweeps, it abstracts away the asynchronous effects the
+practical protocol of Section 4 must cope with: message delays, exchange
+timeouts, clock drift between nodes and epochs that start at different
+real times at different nodes.  This module provides a message-passing
+simulator built on :class:`~repro.simulator.engine.EventScheduler` that
+models all of those effects, and is what
+:class:`~repro.core.node.AggregationNode` (the full practical protocol
+implementation) runs on.
+
+Nodes are objects implementing the small :class:`SimulatedProcess`
+interface; the network delivers their messages with sampled latencies,
+drops them according to the transport model, and exposes membership
+operations (crash / join) to the caller.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..common.errors import SimulationError
+from ..common.rng import RandomSource
+from ..common.validation import require_non_negative
+from .engine import EventHandle, EventScheduler
+from .transport import DelayModel, PERFECT_TRANSPORT, TransportModel
+
+__all__ = ["Message", "SimulatedProcess", "EventDrivenNetwork"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in flight between two simulated processes."""
+
+    sender: int
+    recipient: int
+    payload: Any
+    sent_at: float
+
+
+class SimulatedProcess(abc.ABC):
+    """Interface implemented by protocol nodes running on the event simulator."""
+
+    #: Unique identifier of the process; assigned by the network on
+    #: registration.
+    node_id: int
+
+    @abc.abstractmethod
+    def start(self, network: "EventDrivenNetwork") -> None:
+        """Called once when the process is added to the network."""
+
+    @abc.abstractmethod
+    def handle_message(self, message: Message, network: "EventDrivenNetwork") -> None:
+        """Called when a message addressed to this process is delivered."""
+
+    def on_crash(self, network: "EventDrivenNetwork") -> None:
+        """Called right before the process is removed (optional hook)."""
+
+
+class EventDrivenNetwork:
+    """Message-passing simulation of an asynchronous overlay network.
+
+    Parameters
+    ----------
+    rng:
+        Root randomness source (latencies, loss, drift derive children).
+    delay_model:
+        Message latency model and exchange timeout.
+    transport:
+        Message loss / link failure model; the ``message_loss_probability``
+        is applied independently to every message, the
+        ``link_failure_probability`` to every send attempt.
+    clock_drift:
+        Maximum relative drift of per-node clocks.  Each node gets a rate
+        drawn uniformly from ``[1 - clock_drift, 1 + clock_drift]``; the
+        helper :meth:`local_delay` converts a nominal local duration into
+        simulated real time with that rate, which is how the paper's
+        "small short-term drift" assumption is exercised.
+    """
+
+    def __init__(
+        self,
+        rng: RandomSource,
+        delay_model: Optional[DelayModel] = None,
+        transport: TransportModel = PERFECT_TRANSPORT,
+        clock_drift: float = 0.0,
+    ) -> None:
+        require_non_negative(clock_drift, "clock_drift")
+        self.scheduler = EventScheduler()
+        self.delay_model = delay_model or DelayModel()
+        self.transport = transport
+        self._delay_rng = rng.child("delays")
+        self._loss_rng = rng.child("loss")
+        self._drift_rng = rng.child("drift")
+        self._clock_drift = clock_drift
+        self._processes: Dict[int, SimulatedProcess] = {}
+        self._clock_rates: Dict[int, float] = {}
+        self._next_id = 0
+        #: Counters exposed for tests and reports.
+        self.sent_messages = 0
+        self.delivered_messages = 0
+        self.dropped_messages = 0
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated (global) time."""
+        return self.scheduler.now
+
+    def local_delay(self, node_id: int, nominal: float) -> float:
+        """Convert a nominal local duration into drifted real time."""
+        rate = self._clock_rates.get(node_id, 1.0)
+        return nominal * rate
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_process(self, process: SimulatedProcess, node_id: Optional[int] = None) -> int:
+        """Register a process, assign it an identifier, and start it."""
+        if node_id is None:
+            node_id = self._next_id
+        if node_id in self._processes:
+            raise SimulationError(f"node id {node_id} already registered")
+        self._next_id = max(self._next_id, node_id + 1)
+        process.node_id = node_id
+        self._processes[node_id] = process
+        if self._clock_drift > 0.0:
+            rate = self._drift_rng.uniform(1.0 - self._clock_drift, 1.0 + self._clock_drift)
+        else:
+            rate = 1.0
+        self._clock_rates[node_id] = rate
+        process.start(self)
+        return node_id
+
+    def crash_process(self, node_id: int) -> None:
+        """Remove a process; undelivered messages to it are silently lost."""
+        process = self._processes.pop(node_id, None)
+        self._clock_rates.pop(node_id, None)
+        if process is not None:
+            process.on_crash(self)
+
+    def is_alive(self, node_id: int) -> bool:
+        """Whether the process with this identifier is currently registered."""
+        return node_id in self._processes
+
+    def process(self, node_id: int) -> SimulatedProcess:
+        """Return the live process with this identifier."""
+        try:
+            return self._processes[node_id]
+        except KeyError as exc:
+            raise SimulationError(f"node {node_id} is not alive") from exc
+
+    def processes(self) -> List[SimulatedProcess]:
+        """All live processes."""
+        return list(self._processes.values())
+
+    def node_ids(self) -> List[int]:
+        """Identifiers of all live processes."""
+        return sorted(self._processes.keys())
+
+    def size(self) -> int:
+        """Number of live processes."""
+        return len(self._processes)
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+    def send(self, sender: int, recipient: int, payload: Any) -> None:
+        """Send ``payload`` from ``sender`` to ``recipient``.
+
+        The message is subject to link failure and message loss; if it
+        survives, it is delivered after a sampled latency — provided the
+        recipient is still alive at delivery time.
+        """
+        self.sent_messages += 1
+        if self.transport.link_failure_probability > 0.0 and self._loss_rng.bernoulli(
+            self.transport.link_failure_probability
+        ):
+            self.dropped_messages += 1
+            return
+        if self.transport.message_loss_probability > 0.0 and self._loss_rng.bernoulli(
+            self.transport.message_loss_probability
+        ):
+            self.dropped_messages += 1
+            return
+        delay = self.delay_model.sample_delay(self._delay_rng)
+        message = Message(sender=sender, recipient=recipient, payload=payload, sent_at=self.now)
+        self.scheduler.schedule_after(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        process = self._processes.get(message.recipient)
+        if process is None:
+            # Recipient crashed while the message was in flight.
+            self.dropped_messages += 1
+            return
+        self.delivered_messages += 1
+        process.handle_message(message, self)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def set_timer(self, node_id: int, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after a node-local delay (drift applied).
+
+        The timer fires only if the node is still alive at that moment.
+        """
+        real_delay = self.local_delay(node_id, delay)
+
+        def guarded() -> None:
+            if node_id in self._processes:
+                callback()
+
+        return self.scheduler.schedule_after(real_delay, guarded)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Advance the simulation to ``end_time``."""
+        return self.scheduler.run_until(end_time, max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EventDrivenNetwork(nodes={len(self._processes)}, t={self.now:.3f}, "
+            f"sent={self.sent_messages}, dropped={self.dropped_messages})"
+        )

@@ -1,0 +1,206 @@
+"""Node-level failure injection for the cycle-driven simulator.
+
+The paper studies several dynamism scenarios; each has a corresponding
+failure model here.  A failure model is invoked once at the beginning of
+every cycle (the paper's worst case: crashes remove values exactly when
+the variance among estimates is largest) and manipulates the simulator
+through its public ``crash_node`` / ``add_node`` API.
+
+* :class:`ProportionalCrashModel` — a fixed proportion ``P_f`` of the
+  currently participating nodes crashes before every cycle (Section 6.1,
+  Figure 5).
+* :class:`SuddenDeathModel` — a given fraction of nodes crashes all at
+  once at one specific cycle (Figure 6a).
+* :class:`ChurnModel` — a constant number of nodes is replaced by brand
+  new nodes each cycle; the size stays constant but the composition
+  changes and the newcomers refuse to participate in the running epoch
+  (Figure 6b and 8a).
+* :class:`CountCrashModel` — an absolute number of crashes per cycle.
+* :class:`CompositeFailureModel` — applies several models in sequence.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from ..common.rng import RandomSource
+from ..common.validation import (
+    require_non_negative,
+    require_probability,
+)
+
+__all__ = [
+    "FailureModel",
+    "NoFailures",
+    "ProportionalCrashModel",
+    "SuddenDeathModel",
+    "ChurnModel",
+    "CountCrashModel",
+    "CompositeFailureModel",
+]
+
+
+class FailureModel(abc.ABC):
+    """Interface invoked by the simulator at the beginning of every cycle."""
+
+    @abc.abstractmethod
+    def apply(self, simulator, cycle_index: int, rng: RandomSource) -> None:
+        """Inject failures for the cycle about to run.
+
+        Parameters
+        ----------
+        simulator:
+            The running :class:`~repro.simulator.cycle_sim.CycleSimulator`.
+        cycle_index:
+            The 1-based index of the cycle about to execute.
+        rng:
+            Randomness source dedicated to failure injection.
+        """
+
+    def describe(self) -> str:
+        """One-line human readable description for experiment reports."""
+        return type(self).__name__
+
+
+class NoFailures(FailureModel):
+    """The benign scenario: nobody crashes, nobody joins."""
+
+    def apply(self, simulator, cycle_index: int, rng: RandomSource) -> None:
+        return None
+
+    def describe(self) -> str:
+        return "no failures"
+
+
+class ProportionalCrashModel(FailureModel):
+    """Crash a fixed proportion of the live participants before each cycle.
+
+    Parameters
+    ----------
+    crash_probability:
+        ``P_f``: the fraction of currently participating nodes removed at
+        the start of every cycle.
+    """
+
+    def __init__(self, crash_probability: float) -> None:
+        require_probability(crash_probability, "crash_probability")
+        self.crash_probability = crash_probability
+
+    def apply(self, simulator, cycle_index: int, rng: RandomSource) -> None:
+        participants = simulator.participant_ids()
+        count = int(round(self.crash_probability * len(participants)))
+        if count <= 0:
+            return
+        victims = rng.sample(participants, min(count, len(participants)))
+        for victim in victims:
+            simulator.crash_node(victim)
+
+    def describe(self) -> str:
+        return f"proportional crashes (Pf={self.crash_probability})"
+
+
+class SuddenDeathModel(FailureModel):
+    """Crash a large fraction of the network all at once at a given cycle.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of the participating nodes that crashes.
+    at_cycle:
+        The 1-based cycle index right before which the crash happens.
+    """
+
+    def __init__(self, fraction: float, at_cycle: int) -> None:
+        require_probability(fraction, "fraction")
+        require_non_negative(at_cycle, "at_cycle")
+        self.fraction = fraction
+        self.at_cycle = int(at_cycle)
+
+    def apply(self, simulator, cycle_index: int, rng: RandomSource) -> None:
+        if cycle_index != self.at_cycle:
+            return
+        participants = simulator.participant_ids()
+        count = int(round(self.fraction * len(participants)))
+        victims = rng.sample(participants, min(count, len(participants)))
+        for victim in victims:
+            simulator.crash_node(victim)
+
+    def describe(self) -> str:
+        return f"sudden death of {self.fraction:.0%} at cycle {self.at_cycle}"
+
+
+class ChurnModel(FailureModel):
+    """Replace a constant number of participants with fresh nodes each cycle.
+
+    The replacements keep the network size constant while its composition
+    changes.  New nodes join the overlay immediately but — following the
+    paper's epoch rule — do not participate in the running epoch; they
+    refuse aggregation exchanges, which behaves like additional link
+    failure for the nodes that try to contact them.
+
+    Parameters
+    ----------
+    replacements_per_cycle:
+        How many nodes are substituted before every cycle.
+    new_node_value:
+        The local value assigned to joining nodes (relevant only once they
+        participate in a later epoch).
+    """
+
+    def __init__(self, replacements_per_cycle: int, new_node_value: float = 0.0) -> None:
+        require_non_negative(replacements_per_cycle, "replacements_per_cycle")
+        self.replacements_per_cycle = int(replacements_per_cycle)
+        self.new_node_value = new_node_value
+
+    def apply(self, simulator, cycle_index: int, rng: RandomSource) -> None:
+        if self.replacements_per_cycle <= 0:
+            return
+        participants = simulator.participant_ids()
+        count = min(self.replacements_per_cycle, len(participants))
+        victims = rng.sample(participants, count)
+        for victim in victims:
+            simulator.crash_node(victim)
+        for _ in range(count):
+            simulator.add_node(value=self.new_node_value, participating=False)
+
+    def describe(self) -> str:
+        return f"churn ({self.replacements_per_cycle} nodes substituted per cycle)"
+
+
+class CountCrashModel(FailureModel):
+    """Crash an absolute number of participating nodes before each cycle.
+
+    Used by the multiple-instances experiment (Figure 8a: "1000 nodes crash
+    at the beginning of each cycle").
+    """
+
+    def __init__(self, crashes_per_cycle: int) -> None:
+        require_non_negative(crashes_per_cycle, "crashes_per_cycle")
+        self.crashes_per_cycle = int(crashes_per_cycle)
+
+    def apply(self, simulator, cycle_index: int, rng: RandomSource) -> None:
+        if self.crashes_per_cycle <= 0:
+            return
+        participants = simulator.participant_ids()
+        count = min(self.crashes_per_cycle, len(participants))
+        victims = rng.sample(participants, count)
+        for victim in victims:
+            simulator.crash_node(victim)
+
+    def describe(self) -> str:
+        return f"{self.crashes_per_cycle} crashes per cycle"
+
+
+class CompositeFailureModel(FailureModel):
+    """Apply several failure models in order at every cycle."""
+
+    def __init__(self, models: Sequence[FailureModel]) -> None:
+        self.models: List[FailureModel] = list(models)
+
+    def apply(self, simulator, cycle_index: int, rng: RandomSource) -> None:
+        for index, model in enumerate(self.models):
+            model.apply(simulator, cycle_index, rng.child("composite", index, cycle_index))
+
+    def describe(self) -> str:
+        return " + ".join(model.describe() for model in self.models)

@@ -1,0 +1,231 @@
+"""Measurements collected while a simulation runs.
+
+The paper characterises protocol behaviour through the empirical mean and
+variance of the local estimates (its equation (1)), the per-cycle
+convergence factor ρ_i = E(σ²_i)/E(σ²_{i-1}), and the minimum/maximum
+estimate across nodes.  This module defines the per-cycle record captured
+by the simulators and the :class:`SimulationTrace` container with the
+derived measures used by the experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..common.errors import SimulationError
+
+__all__ = [
+    "empirical_mean",
+    "empirical_variance",
+    "CycleRecord",
+    "SimulationTrace",
+]
+
+
+def empirical_mean(values: Sequence[float]) -> float:
+    """The empirical mean µ of a set of local estimates (paper eq. 1)."""
+    finite = [v for v in values if v is not None and math.isfinite(v)]
+    if not finite:
+        return math.nan
+    return float(np.mean(finite))
+
+
+def empirical_variance(values: Sequence[float]) -> float:
+    """The empirical variance σ² with the N−1 denominator (paper eq. 1)."""
+    finite = [v for v in values if v is not None and math.isfinite(v)]
+    if len(finite) < 2:
+        return 0.0
+    return float(np.var(finite, ddof=1))
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """Snapshot of the estimate population at the end of one cycle.
+
+    ``cycle`` 0 is the state *before* any exchange (the freshly initialised
+    estimates); cycle ``i`` is the state after the i-th round of exchanges.
+    """
+
+    cycle: int
+    participant_count: int
+    mean: float
+    variance: float
+    minimum: float
+    maximum: float
+    completed_exchanges: int = 0
+    failed_exchanges: int = 0
+
+    def spread(self) -> float:
+        """Difference between the maximum and minimum estimate."""
+        return self.maximum - self.minimum
+
+
+@dataclass
+class SimulationTrace:
+    """The full per-cycle history of one simulation run."""
+
+    records: List[CycleRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def add(self, record: CycleRecord) -> None:
+        """Append a cycle record (cycles must be added in order)."""
+        if self.records and record.cycle <= self.records[-1].cycle:
+            raise SimulationError(
+                f"cycle records must be strictly increasing; got {record.cycle} "
+                f"after {self.records[-1].cycle}"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def initial(self) -> CycleRecord:
+        """The cycle-0 record (before any exchange)."""
+        if not self.records:
+            raise SimulationError("trace is empty")
+        return self.records[0]
+
+    @property
+    def final(self) -> CycleRecord:
+        """The most recent record."""
+        if not self.records:
+            raise SimulationError("trace is empty")
+        return self.records[-1]
+
+    def record_at(self, cycle: int) -> CycleRecord:
+        """The record for a specific cycle index."""
+        for record in self.records:
+            if record.cycle == cycle:
+                return record
+        raise SimulationError(f"no record for cycle {cycle}")
+
+    def cycles(self) -> List[int]:
+        """All recorded cycle indices."""
+        return [record.cycle for record in self.records]
+
+    def means(self) -> List[float]:
+        """Per-cycle empirical means."""
+        return [record.mean for record in self.records]
+
+    def variances(self) -> List[float]:
+        """Per-cycle empirical variances."""
+        return [record.variance for record in self.records]
+
+    def minima(self) -> List[float]:
+        """Per-cycle minimum estimates."""
+        return [record.minimum for record in self.records]
+
+    def maxima(self) -> List[float]:
+        """Per-cycle maximum estimates."""
+        return [record.maximum for record in self.records]
+
+    def participant_counts(self) -> List[int]:
+        """Per-cycle number of participating nodes."""
+        return [record.participant_count for record in self.records]
+
+    # ------------------------------------------------------------------
+    # Derived measures
+    # ------------------------------------------------------------------
+    def variance_reduction(self) -> List[float]:
+        """Per-cycle variance normalised by the initial variance.
+
+        This is exactly the quantity plotted in Figure 3(b) of the paper.
+        Cycles whose variance is zero map to 0.0.
+        """
+        initial_variance = self.initial.variance
+        if initial_variance <= 0.0:
+            return [0.0 for _ in self.records]
+        return [record.variance / initial_variance for record in self.records]
+
+    def per_cycle_convergence_factors(self) -> List[float]:
+        """ρ_i = σ²_i / σ²_{i-1} for every consecutive pair of records."""
+        factors: List[float] = []
+        for previous, current in zip(self.records, self.records[1:]):
+            if previous.variance <= 0.0:
+                factors.append(0.0)
+            else:
+                factors.append(current.variance / previous.variance)
+        return factors
+
+    def average_convergence_factor(self, cycles: Optional[int] = None) -> float:
+        """Geometric-mean convergence factor over the first ``cycles`` cycles.
+
+        This matches the paper's "average convergence factor computed over
+        a period of 20 cycles" (Figure 3a): the per-cycle variance-reduction
+        ratio averaged geometrically, i.e. ``(σ²_c / σ²_0)^(1/c)``.
+
+        Parameters
+        ----------
+        cycles:
+            Number of cycles to average over; defaults to the whole trace.
+        """
+        if len(self.records) < 2:
+            raise SimulationError("need at least two records to compute a convergence factor")
+        last_index = len(self.records) - 1 if cycles is None else min(cycles, len(self.records) - 1)
+        if last_index < 1:
+            raise SimulationError("need at least one completed cycle")
+        initial_variance = self.records[0].variance
+        final_variance = self.records[last_index].variance
+        if initial_variance <= 0.0:
+            return 0.0
+        if final_variance <= 0.0:
+            # Fully converged within the window: find the first zero and
+            # treat the remaining cycles as free, giving a lower bound.
+            for record in self.records[1: last_index + 1]:
+                if record.variance <= 0.0:
+                    final_variance = np.finfo(float).tiny
+                    break
+        ratio = final_variance / initial_variance
+        return float(ratio ** (1.0 / last_index))
+
+    def mean_drift(self) -> float:
+        """Absolute change of the empirical mean between cycle 0 and the end.
+
+        Under complete exchanges the mean is invariant; failures introduce
+        drift, which this measure quantifies.
+        """
+        return abs(self.final.mean - self.initial.mean)
+
+    def total_completed_exchanges(self) -> int:
+        """Total number of completed exchanges across all cycles."""
+        return sum(record.completed_exchanges for record in self.records)
+
+    def total_failed_exchanges(self) -> int:
+        """Total number of failed/dropped exchanges across all cycles."""
+        return sum(record.failed_exchanges for record in self.records)
+
+
+def summarize_traces(traces: Iterable[SimulationTrace]) -> dict:
+    """Aggregate statistics over repeated experiment runs.
+
+    Returns a dictionary with the mean and standard deviation of the final
+    mean/variance and of the average convergence factor over the traces.
+    """
+    traces = list(traces)
+    if not traces:
+        raise SimulationError("no traces to summarise")
+    final_means = np.array([trace.final.mean for trace in traces], dtype=float)
+    final_variances = np.array([trace.final.variance for trace in traces], dtype=float)
+    factors = np.array([trace.average_convergence_factor() for trace in traces], dtype=float)
+    return {
+        "runs": len(traces),
+        "final_mean_avg": float(final_means.mean()),
+        "final_mean_std": float(final_means.std()),
+        "final_variance_avg": float(final_variances.mean()),
+        "final_variance_std": float(final_variances.std()),
+        "convergence_factor_avg": float(factors.mean()),
+        "convergence_factor_std": float(factors.std()),
+    }

@@ -1,0 +1,118 @@
+"""Communication failure and delay models.
+
+The paper's system model (Section 2) allows messages to be lost and links
+between pairs of nodes to break; Section 6.2 and 7.2 analyse two distinct
+failure modes that this module captures:
+
+* **Link failure** with probability ``P_d``: the whole exchange silently
+  fails (equivalent to the initiation message being lost) — no state
+  changes anywhere, convergence merely slows down.
+* **Message omission** with probability ``P_m`` applied to every message:
+  if the *request* is lost the exchange is skipped; if the *response* is
+  lost the responder has already applied the update while the initiator
+  has not, so conservation of the global sum is violated — the damaging
+  case studied in Figure 7(b).
+
+For the event-driven simulator a :class:`DelayModel` provides message
+latencies (and therefore timeout behaviour).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..common.rng import RandomSource
+from ..common.validation import require_non_negative, require_probability
+
+__all__ = ["ExchangeOutcome", "TransportModel", "PERFECT_TRANSPORT", "DelayModel"]
+
+
+class ExchangeOutcome(enum.Enum):
+    """How a single push–pull exchange ends."""
+
+    #: Both request and response delivered; both peers update.
+    COMPLETED = "completed"
+    #: The exchange never happened (link failure or lost request).
+    DROPPED = "dropped"
+    #: The request arrived (responder updates) but the response was lost
+    #: (initiator keeps its old state) — the sum-violating case.
+    RESPONSE_LOST = "response-lost"
+
+
+@dataclass(frozen=True)
+class TransportModel:
+    """Probabilistic model of exchange-level communication failures.
+
+    Parameters
+    ----------
+    link_failure_probability:
+        ``P_d`` — probability that the link used by an exchange is down,
+        dropping the exchange entirely.
+    message_loss_probability:
+        ``P_m`` — probability that any individual message (request or
+        response) is lost.
+    """
+
+    link_failure_probability: float = 0.0
+    message_loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_probability(self.link_failure_probability, "link_failure_probability")
+        require_probability(self.message_loss_probability, "message_loss_probability")
+
+    def is_perfect(self) -> bool:
+        """Whether this transport never loses anything."""
+        return (
+            self.link_failure_probability == 0.0
+            and self.message_loss_probability == 0.0
+        )
+
+    def classify_exchange(self, rng: RandomSource) -> ExchangeOutcome:
+        """Draw the fate of one push–pull exchange."""
+        if self.link_failure_probability > 0.0 and rng.bernoulli(self.link_failure_probability):
+            return ExchangeOutcome.DROPPED
+        if self.message_loss_probability > 0.0:
+            if rng.bernoulli(self.message_loss_probability):
+                # The request never reached the responder.
+                return ExchangeOutcome.DROPPED
+            if rng.bernoulli(self.message_loss_probability):
+                # The response never reached the initiator.
+                return ExchangeOutcome.RESPONSE_LOST
+        return ExchangeOutcome.COMPLETED
+
+
+#: A transport with no failures at all, shared as a convenient default.
+PERFECT_TRANSPORT = TransportModel()
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Message latency model for the event-driven simulator.
+
+    Latencies are drawn uniformly from ``[min_delay, max_delay]``.  The
+    model also carries the timeout the initiating node uses to detect a
+    silent peer; exchanges whose response would arrive after the timeout
+    are treated as failed, mirroring Section 4.2 of the paper.
+    """
+
+    min_delay: float = 0.01
+    max_delay: float = 0.1
+    timeout: float = 0.5
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.min_delay, "min_delay")
+        require_non_negative(self.max_delay, "max_delay")
+        require_non_negative(self.timeout, "timeout")
+        if self.max_delay < self.min_delay:
+            raise ValueError("max_delay must be at least min_delay")
+
+    def sample_delay(self, rng: RandomSource) -> float:
+        """Draw one message latency."""
+        if self.max_delay == self.min_delay:
+            return self.min_delay
+        return rng.uniform(self.min_delay, self.max_delay)
+
+    def round_trip_within_timeout(self, request_delay: float, response_delay: float) -> bool:
+        """Whether a request/response pair beats the initiator's timeout."""
+        return (request_delay + response_delay) <= self.timeout

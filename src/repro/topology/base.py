@@ -1,0 +1,241 @@
+"""Overlay abstractions shared by static topologies and NEWSCAST.
+
+The aggregation protocol only needs one service from the overlay: *give me
+a random neighbour to gossip with*.  The simulation engines additionally
+inform the overlay about node arrivals and departures and give it a chance
+to run its own maintenance once per cycle (which is how the NEWSCAST
+membership protocol is plugged in).
+
+Two families of overlays are provided:
+
+* :class:`StaticTopology` — a fixed graph described by adjacency sets.
+  The concrete generators in this package (random regular, complete,
+  ring lattice, Watts–Strogatz, Barabási–Albert) all build instances of
+  this class.
+* :class:`repro.newscast.NewscastOverlay` — a dynamic overlay maintained
+  by the NEWSCAST epidemic membership protocol.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..common.errors import TopologyError
+from ..common.rng import RandomSource
+
+__all__ = ["OverlayProvider", "StaticTopology"]
+
+
+class OverlayProvider(abc.ABC):
+    """Interface between the simulation engine and an overlay network."""
+
+    @abc.abstractmethod
+    def node_ids(self) -> List[int]:
+        """Return the identifiers of all nodes currently in the overlay."""
+
+    @abc.abstractmethod
+    def neighbors(self, node_id: int) -> Sequence[int]:
+        """Return the neighbour identifiers known by ``node_id``."""
+
+    @abc.abstractmethod
+    def select_peer(self, node_id: int, rng: RandomSource) -> Optional[int]:
+        """Return a uniformly random neighbour of ``node_id`` (or ``None``).
+
+        ``None`` means the node currently has no usable neighbour and the
+        exchange for this cycle is skipped, exactly as a timed-out exchange
+        would be in the paper's protocol.
+        """
+
+    @abc.abstractmethod
+    def on_node_removed(self, node_id: int) -> None:
+        """Notify the overlay that a node has crashed or left."""
+
+    @abc.abstractmethod
+    def on_node_added(self, node_id: int, rng: RandomSource) -> None:
+        """Notify the overlay that a new node joined (bootstrap it)."""
+
+    def after_cycle(self, rng: RandomSource) -> None:
+        """Hook run once per cycle for overlay maintenance (default: no-op)."""
+
+    # Convenience -------------------------------------------------------
+    def size(self) -> int:
+        """Number of nodes currently in the overlay."""
+        return len(self.node_ids())
+
+    def contains(self, node_id: int) -> bool:
+        """Whether ``node_id`` is currently part of the overlay."""
+        return node_id in set(self.node_ids())
+
+
+class StaticTopology(OverlayProvider):
+    """A fixed overlay graph stored as adjacency sets.
+
+    The graph is undirected: an edge ``(a, b)`` makes ``b`` a neighbour of
+    ``a`` and vice versa.  Node removal deletes the node together with its
+    incident edges; this models the "oracle" overlay used by the paper for
+    static-topology experiments, where a crashed node simply disappears
+    from every neighbour list.
+
+    Parameters
+    ----------
+    adjacency:
+        Mapping from node identifier to an iterable of neighbour
+        identifiers.  The constructor symmetrises the relation.
+    name:
+        Human readable name used in reports (e.g. ``"random(k=20)"``).
+    """
+
+    def __init__(self, adjacency: Dict[int, Iterable[int]], name: str = "static") -> None:
+        self._name = name
+        self._adjacency: Dict[int, Set[int]] = {
+            int(node): set(int(n) for n in neighbours) for node, neighbours in adjacency.items()
+        }
+        # Symmetrise and validate.
+        for node, neighbours in list(self._adjacency.items()):
+            if node in neighbours:
+                raise TopologyError(f"node {node} lists itself as a neighbour")
+            for neighbour in neighbours:
+                if neighbour not in self._adjacency:
+                    raise TopologyError(
+                        f"node {node} references unknown neighbour {neighbour}"
+                    )
+                self._adjacency[neighbour].add(node)
+
+    # ------------------------------------------------------------------
+    # OverlayProvider interface
+    # ------------------------------------------------------------------
+    def node_ids(self) -> List[int]:
+        return list(self._adjacency.keys())
+
+    def neighbors(self, node_id: int) -> Sequence[int]:
+        try:
+            return tuple(self._adjacency[node_id])
+        except KeyError as exc:
+            raise TopologyError(f"unknown node {node_id}") from exc
+
+    def select_peer(self, node_id: int, rng: RandomSource) -> Optional[int]:
+        neighbours = self._adjacency.get(node_id)
+        if not neighbours:
+            return None
+        return rng.choice(tuple(neighbours))
+
+    def on_node_removed(self, node_id: int) -> None:
+        neighbours = self._adjacency.pop(node_id, None)
+        if neighbours is None:
+            return
+        for neighbour in neighbours:
+            self._adjacency[neighbour].discard(node_id)
+
+    def on_node_added(self, node_id: int, rng: RandomSource) -> None:
+        """Attach a new node to ``degree``-many random existing nodes.
+
+        The attachment degree mirrors the average degree of the current
+        graph (at least one edge) so the graph stays roughly regular as
+        churn replaces nodes.
+        """
+        if node_id in self._adjacency:
+            raise TopologyError(f"node {node_id} already exists")
+        existing = list(self._adjacency.keys())
+        self._adjacency[node_id] = set()
+        if not existing:
+            return
+        average_degree = max(1, round(self.average_degree()))
+        count = min(average_degree, len(existing))
+        for peer in rng.sample(existing, count):
+            self._adjacency[node_id].add(peer)
+            self._adjacency[peer].add(node_id)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Human readable topology name."""
+        return self._name
+
+    def size(self) -> int:
+        return len(self._adjacency)
+
+    def contains(self, node_id: int) -> bool:
+        return node_id in self._adjacency
+
+    def degree(self, node_id: int) -> int:
+        """Number of neighbours of ``node_id``."""
+        return len(self._adjacency[node_id])
+
+    def average_degree(self) -> float:
+        """Mean degree over all nodes (0 for an empty graph)."""
+        if not self._adjacency:
+            return 0.0
+        return sum(len(n) for n in self._adjacency.values()) / len(self._adjacency)
+
+    def degree_sequence(self) -> List[int]:
+        """Degrees of all nodes, in node-id order."""
+        return [len(self._adjacency[node]) for node in sorted(self._adjacency)]
+
+    def edges(self) -> List[tuple[int, int]]:
+        """All undirected edges as ``(low, high)`` tuples, each once."""
+        result = []
+        for node, neighbours in self._adjacency.items():
+            for neighbour in neighbours:
+                if node < neighbour:
+                    result.append((node, neighbour))
+        return result
+
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(n) for n in self._adjacency.values()) // 2
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """Whether nodes ``a`` and ``b`` are neighbours."""
+        return b in self._adjacency.get(a, set())
+
+    def adjacency_copy(self) -> Dict[int, Set[int]]:
+        """Deep copy of the adjacency mapping (for analysis code)."""
+        return {node: set(neighbours) for node, neighbours in self._adjacency.items()}
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (empty graphs count as connected)."""
+        if not self._adjacency:
+            return True
+        start = next(iter(self._adjacency))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in self._adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return len(seen) == len(self._adjacency)
+
+    def connected_components(self) -> List[Set[int]]:
+        """All connected components as sets of node identifiers."""
+        remaining = set(self._adjacency)
+        components: List[Set[int]] = []
+        while remaining:
+            start = next(iter(remaining))
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbour in self._adjacency[node]:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        frontier.append(neighbour)
+            components.append(seen)
+            remaining -= seen
+        return components
+
+    def to_networkx(self):
+        """Return the graph as a :class:`networkx.Graph` (for analysis)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self._adjacency.keys())
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticTopology(name={self._name!r}, nodes={self.size()}, edges={self.edge_count()})"

@@ -1,0 +1,102 @@
+"""The complete (fully connected) overlay.
+
+In the complete topology every node knows every other node, so peer
+selection is a uniform draw over all other live nodes.  Materialising the
+full adjacency would cost O(N^2) memory, so this overlay is implemented
+directly against the :class:`~repro.topology.base.OverlayProvider`
+interface with O(N) state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ..common.errors import TopologyError
+from ..common.rng import RandomSource
+from ..common.validation import require_positive
+from .base import OverlayProvider, StaticTopology
+
+__all__ = ["CompleteOverlay", "complete_topology"]
+
+
+class CompleteOverlay(OverlayProvider):
+    """Fully connected overlay with O(N) memory.
+
+    Parameters
+    ----------
+    size:
+        Initial number of nodes (identifiers ``0 .. size-1``).
+    """
+
+    def __init__(self, size: int) -> None:
+        require_positive(size, "size")
+        self._nodes: Set[int] = set(range(size))
+        self._node_list: List[int] = list(range(size))
+        self._dirty = False
+        self.name = "complete"
+
+    def _refresh(self) -> None:
+        if self._dirty:
+            self._node_list = sorted(self._nodes)
+            self._dirty = False
+
+    # OverlayProvider ----------------------------------------------------
+    def node_ids(self) -> List[int]:
+        self._refresh()
+        return list(self._node_list)
+
+    def neighbors(self, node_id: int) -> Sequence[int]:
+        if node_id not in self._nodes:
+            raise TopologyError(f"unknown node {node_id}")
+        self._refresh()
+        return tuple(node for node in self._node_list if node != node_id)
+
+    def select_peer(self, node_id: int, rng: RandomSource) -> Optional[int]:
+        if len(self._nodes) <= 1:
+            return None
+        self._refresh()
+        # Rejection sampling: with >= 2 nodes this terminates quickly.
+        while True:
+            peer = self._node_list[rng.choice_index(len(self._node_list))]
+            if peer != node_id:
+                return peer
+
+    def on_node_removed(self, node_id: int) -> None:
+        self._nodes.discard(node_id)
+        self._dirty = True
+
+    def on_node_added(self, node_id: int, rng: RandomSource) -> None:
+        if node_id in self._nodes:
+            raise TopologyError(f"node {node_id} already exists")
+        self._nodes.add(node_id)
+        self._dirty = True
+
+    def size(self) -> int:
+        return len(self._nodes)
+
+    def contains(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompleteOverlay(nodes={len(self._nodes)})"
+
+
+def complete_topology(size: int, materialise: bool = False) -> OverlayProvider:
+    """Build a complete overlay of ``size`` nodes.
+
+    Parameters
+    ----------
+    size:
+        Number of nodes.
+    materialise:
+        If ``True`` build an explicit :class:`StaticTopology` with all
+        O(N^2) edges (useful for small graphs in tests); otherwise return
+        the memory-efficient :class:`CompleteOverlay`.
+    """
+    require_positive(size, "size")
+    if not materialise:
+        return CompleteOverlay(size)
+    adjacency = {
+        node: set(peer for peer in range(size) if peer != node) for node in range(size)
+    }
+    return StaticTopology(adjacency, name="complete")

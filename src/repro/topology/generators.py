@@ -1,0 +1,102 @@
+"""Factory for building overlays by name.
+
+Experiments sweep over topology families (Figure 3 of the paper); the
+factory maps a short, declarative :class:`TopologySpec` onto the concrete
+generator so experiment configuration stays data-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..common.errors import ConfigurationError
+from ..common.rng import RandomSource
+from .base import OverlayProvider
+from .complete import complete_topology
+from .random_regular import random_k_out_topology, random_regular_topology
+from .ring_lattice import ring_lattice_topology
+from .scale_free import barabasi_albert_topology
+from .watts_strogatz import watts_strogatz_topology
+
+__all__ = ["TopologySpec", "build_overlay", "TOPOLOGY_KINDS"]
+
+#: Names accepted by :func:`build_overlay` (NEWSCAST is built separately by
+#: :mod:`repro.newscast` because it is a protocol, not a static graph).
+TOPOLOGY_KINDS = (
+    "random",
+    "regular",
+    "complete",
+    "ring-lattice",
+    "watts-strogatz",
+    "scale-free",
+    "newscast",
+)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative description of an overlay topology.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`TOPOLOGY_KINDS`.
+    degree:
+        Neighbourhood size (meaning depends on the kind: sampled peers for
+        ``random``, lattice degree for ``ring-lattice``/``watts-strogatz``,
+        attachment count for ``scale-free``, cache size for ``newscast``).
+    beta:
+        Watts–Strogatz rewiring probability (ignored by other kinds).
+    params:
+        Extra keyword parameters forwarded to the generator.
+    """
+
+    kind: str
+    degree: int = 20
+    beta: float = 0.0
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def label(self) -> str:
+        """Short human-readable label used in reports and figures."""
+        if self.kind == "watts-strogatz":
+            return f"W-S (beta={self.beta:.2f})"
+        if self.kind == "newscast":
+            return f"newscast (c={self.degree})"
+        return self.kind
+
+
+def build_overlay(spec: TopologySpec, size: int, rng: RandomSource) -> OverlayProvider:
+    """Build the overlay described by ``spec`` over ``size`` nodes.
+
+    Parameters
+    ----------
+    spec:
+        The declarative topology description.
+    size:
+        Number of nodes (identifiers ``0 .. size-1``).
+    rng:
+        Randomness source for the stochastic generators.
+    """
+    kind = spec.kind.lower()
+    if kind == "random":
+        return random_k_out_topology(size, spec.degree, rng)
+    if kind == "regular":
+        return random_regular_topology(size, spec.degree, rng)
+    if kind == "complete":
+        return complete_topology(size, **spec.params)
+    if kind == "ring-lattice":
+        return ring_lattice_topology(size, spec.degree)
+    if kind == "watts-strogatz":
+        return watts_strogatz_topology(size, spec.degree, spec.beta, rng)
+    if kind == "scale-free":
+        return barabasi_albert_topology(size, spec.degree, rng)
+    if kind == "newscast":
+        # Imported lazily to avoid a package cycle: newscast depends on
+        # topology.base for the OverlayProvider interface.
+        from ..newscast import NewscastOverlay
+
+        return NewscastOverlay.bootstrap(size, cache_size=spec.degree, rng=rng, **spec.params)
+    raise ConfigurationError(
+        f"unknown topology kind {spec.kind!r}; expected one of {TOPOLOGY_KINDS}"
+    )

@@ -1,0 +1,91 @@
+"""Watts–Strogatz small-world graphs.
+
+Built exactly as the paper (and the original Nature paper) describe:
+start from a regular ring lattice of the requested degree, then visit every
+edge and rewire it with probability ``beta``.  Rewiring the edge ``(n, m)``
+at node ``n`` removes it and adds an edge from ``n`` to a uniformly random
+node that is neither ``n`` nor already a neighbour of ``n``.
+
+``beta = 0`` leaves the ring lattice unchanged; ``beta = 1`` rewires every
+edge, producing a random graph.  The paper sweeps ``beta`` in Figure 4(a)
+and uses ``beta ∈ {0, 0.25, 0.5, 0.75}`` in Figure 3.
+"""
+
+from __future__ import annotations
+
+from ..common.rng import RandomSource
+from ..common.validation import require, require_positive, require_probability
+from .base import StaticTopology
+from .ring_lattice import ring_lattice_topology
+
+__all__ = ["watts_strogatz_topology"]
+
+
+def watts_strogatz_topology(
+    size: int, degree: int, beta: float, rng: RandomSource
+) -> StaticTopology:
+    """Build a Watts–Strogatz graph.
+
+    Parameters
+    ----------
+    size:
+        Number of nodes.
+    degree:
+        Degree of the initial ring lattice (must be even).
+    beta:
+        Rewiring probability in ``[0, 1]``.
+    rng:
+        Randomness source used for the rewiring decisions and targets.
+    """
+    require_positive(size, "size")
+    require_positive(degree, "degree")
+    require(degree % 2 == 0, f"degree must be even, got {degree}")
+    require(degree < size - 1, f"degree ({degree}) must be below size-1 ({size - 1})")
+    require_probability(beta, "beta")
+
+    lattice = ring_lattice_topology(size, degree)
+    adjacency = lattice.adjacency_copy()
+
+    if beta == 0.0:
+        return StaticTopology(adjacency, name=f"watts-strogatz(k={degree}, beta=0.00)")
+
+    half = degree // 2
+    for node in range(size):
+        for offset in range(1, half + 1):
+            neighbour = (node + offset) % size
+            # Only consider the edge from the side of `node` (each lattice
+            # edge is visited exactly once this way).
+            if neighbour not in adjacency[node]:
+                continue  # already rewired away by an earlier step
+            if not rng.bernoulli(beta):
+                continue
+            target = _pick_rewire_target(node, adjacency, size, rng)
+            if target is None:
+                continue
+            adjacency[node].discard(neighbour)
+            adjacency[neighbour].discard(node)
+            adjacency[node].add(target)
+            adjacency[target].add(node)
+
+    return StaticTopology(adjacency, name=f"watts-strogatz(k={degree}, beta={beta:.2f})")
+
+
+def _pick_rewire_target(node: int, adjacency, size: int, rng: RandomSource):
+    """Pick a random node that is neither ``node`` nor its neighbour.
+
+    Returns ``None`` when no such node exists (degenerate tiny graphs) or
+    when rejection sampling fails to find one quickly, in which case the
+    caller keeps the original edge.
+    """
+    excluded = adjacency[node]
+    if len(excluded) >= size - 1:
+        return None
+    for _ in range(64):
+        candidate = rng.integer(0, size)
+        if candidate != node and candidate not in excluded:
+            return candidate
+    # Deterministic fallback scan (extremely unlikely to be needed).
+    for candidate in range(size):
+        if candidate != node and candidate not in excluded:
+            return candidate
+    return None

@@ -1,0 +1,92 @@
+"""Tests for the robust statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.statistics import (
+    finite_mean,
+    median,
+    relative_error,
+    summary_quantiles,
+    trimmed_mean,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestTrimmedMean:
+    def test_plain_mean_when_nothing_trimmed(self):
+        assert trimmed_mean([1.0, 2.0, 3.0], discard_fraction=0.0) == 2.0
+
+    def test_paper_third_trimming(self):
+        values = [0.0, 10.0, 10.0, 10.0, 10.0, 1000.0]
+        assert trimmed_mean(values, discard_fraction=1.0 / 3.0) == 10.0
+
+    def test_infinities_are_trimmed_first(self):
+        values = [math.inf, 10.0, 10.0, 10.0, 10.0, -math.inf]
+        assert trimmed_mean(values, discard_fraction=1.0 / 3.0) == 10.0
+
+    def test_all_infinite_returns_inf(self):
+        assert trimmed_mean([math.inf, math.inf, math.inf]) == math.inf
+
+    def test_single_value(self):
+        assert trimmed_mean([7.0]) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trimmed_mean([])
+
+    def test_excessive_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trimmed_mean([1.0, 2.0], discard_fraction=0.5)
+
+    def test_order_does_not_matter(self):
+        values = [5.0, 1.0, 9.0, 3.0, 7.0, 100.0]
+        assert trimmed_mean(values, 1.0 / 3.0) == trimmed_mean(sorted(values), 1.0 / 3.0)
+
+
+class TestMedian:
+    def test_odd_length(self):
+        assert median([5.0, 1.0, 3.0]) == 3.0
+
+    def test_even_length(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_with_infinities(self):
+        assert median([1.0, 2.0, 3.0, math.inf, math.inf]) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            median([])
+
+
+class TestFiniteMean:
+    def test_ignores_infinities(self):
+        assert finite_mean([1.0, 3.0, math.inf]) == 2.0
+
+    def test_all_infinite(self):
+        assert finite_mean([math.inf]) == math.inf
+
+
+class TestRelativeError:
+    def test_simple(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_infinite_estimate(self):
+        assert relative_error(math.inf, 100.0) == math.inf
+
+    def test_zero_truth(self):
+        assert relative_error(0.5, 0.0) == 0.5
+
+
+class TestSummaryQuantiles:
+    def test_quantiles_of_finite_sample(self):
+        data = list(range(101))
+        result = summary_quantiles(data)
+        assert result["q50"] == 50.0
+        assert result["q5"] == pytest.approx(5.0)
+        assert result["q95"] == pytest.approx(95.0)
+
+    def test_all_infinite(self):
+        result = summary_quantiles([math.inf, math.inf])
+        assert result["q50"] == math.inf

@@ -1,0 +1,140 @@
+"""Tests for the deterministic random source."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RandomSource, derive_seed
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RandomSource(7)
+        b = RandomSource(7)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(7)
+        b = RandomSource(8)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_child_streams_are_deterministic(self):
+        a = RandomSource(7).child("topology", 3)
+        b = RandomSource(7).child("topology", 3)
+        assert a.random() == b.random()
+
+    def test_child_streams_are_independent(self):
+        a = RandomSource(7).child("topology")
+        b = RandomSource(7).child("failures")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(42, "x", 1) == derive_seed(42, "x", 1)
+        assert derive_seed(42, "x", 1) != derive_seed(42, "x", 2)
+
+    def test_seed_property(self):
+        assert RandomSource(99).seed == 99
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RandomSource(1.5)
+
+    def test_spawn_returns_requested_count(self):
+        children = RandomSource(3).spawn(4)
+        assert len(children) == 4
+        values = {child.random() for child in children}
+        assert len(values) == 4
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(3).spawn(-1)
+
+
+class TestScalarDraws:
+    def test_random_in_unit_interval(self):
+        rng = RandomSource(1)
+        for _ in range(100):
+            value = rng.random()
+            assert 0.0 <= value < 1.0
+
+    def test_uniform_respects_bounds(self):
+        rng = RandomSource(1)
+        for _ in range(100):
+            value = rng.uniform(5.0, 6.0)
+            assert 5.0 <= value < 6.0
+
+    def test_integer_range(self):
+        rng = RandomSource(1)
+        values = {rng.integer(3, 6) for _ in range(200)}
+        assert values == {3, 4, 5}
+
+    def test_integer_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).integer(5, 5)
+
+    def test_bernoulli_extremes(self):
+        rng = RandomSource(1)
+        assert rng.bernoulli(1.0) is True
+        assert rng.bernoulli(0.0) is False
+
+    def test_bernoulli_rate_roughly_correct(self):
+        rng = RandomSource(1)
+        hits = sum(rng.bernoulli(0.3) for _ in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+    def test_poisson_mean(self):
+        rng = RandomSource(1)
+        draws = [rng.poisson(2.0) for _ in range(3000)]
+        assert 1.8 < np.mean(draws) < 2.2
+
+    def test_exponential_requires_positive_mean(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).exponential(0.0)
+
+    def test_normal_returns_float(self):
+        assert isinstance(RandomSource(1).normal(), float)
+
+
+class TestCollectionDraws:
+    def test_choice_from_sequence(self):
+        rng = RandomSource(1)
+        items = ["a", "b", "c"]
+        assert rng.choice(items) in items
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).choice([])
+
+    def test_choice_index_bounds(self):
+        rng = RandomSource(1)
+        for _ in range(100):
+            assert 0 <= rng.choice_index(7) < 7
+
+    def test_sample_distinct(self):
+        rng = RandomSource(1)
+        sample = rng.sample(list(range(20)), 10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_sample_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).sample([1, 2, 3], 4)
+
+    def test_shuffled_indices_is_permutation(self):
+        rng = RandomSource(1)
+        order = rng.shuffled_indices(15)
+        assert sorted(order.tolist()) == list(range(15))
+
+    def test_shuffle_in_place_preserves_elements(self):
+        rng = RandomSource(1)
+        items = list(range(30))
+        rng.shuffle_in_place(items)
+        assert sorted(items) == list(range(30))
+
+    def test_weighted_choice_prefers_heavy_weights(self):
+        rng = RandomSource(1)
+        picks = [rng.weighted_choice_index([0.01, 0.99]) for _ in range(500)]
+        assert sum(picks) > 400
+
+    def test_weighted_choice_rejects_zero_weights(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).weighted_choice_index([0.0, 0.0])

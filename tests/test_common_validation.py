@@ -1,0 +1,98 @@
+"""Tests for the validation helpers and error hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    ExperimentError,
+    MembershipError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from repro.common.validation import (
+    require,
+    require_at_least,
+    require_fraction_of,
+    require_in_range,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            ConfigurationError,
+            TopologyError,
+            SimulationError,
+            ProtocolError,
+            MembershipError,
+            ExperimentError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_errors_carry_messages(self):
+        error = ConfigurationError("bad value")
+        assert "bad value" in str(error)
+
+
+class TestValidationHelpers:
+    def test_require_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_require_raises_on_false(self):
+        with pytest.raises(ConfigurationError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        require_positive(1, "x")
+        with pytest.raises(ConfigurationError):
+            require_positive(0, "x")
+        with pytest.raises(ConfigurationError):
+            require_positive(-3, "x")
+
+    def test_require_non_negative(self):
+        require_non_negative(0, "x")
+        with pytest.raises(ConfigurationError):
+            require_non_negative(-0.1, "x")
+
+    def test_require_probability(self):
+        require_probability(0.0, "p")
+        require_probability(1.0, "p")
+        with pytest.raises(ConfigurationError):
+            require_probability(1.5, "p")
+        with pytest.raises(ConfigurationError):
+            require_probability(-0.2, "p")
+
+    def test_require_in_range(self):
+        require_in_range(5, 0, 10, "x")
+        with pytest.raises(ConfigurationError):
+            require_in_range(11, 0, 10, "x")
+
+    def test_require_at_least(self):
+        require_at_least(5, 3, "x")
+        with pytest.raises(ConfigurationError):
+            require_at_least(2, 3, "x")
+
+    def test_require_fraction_of(self):
+        require_fraction_of(3, 10, "x")
+        with pytest.raises(ConfigurationError):
+            require_fraction_of(11, 10, "x")
+        with pytest.raises(ConfigurationError):
+            require_fraction_of(-1, 10, "x")
+
+    def test_require_non_empty(self):
+        require_non_empty([1], "items")
+        with pytest.raises(ConfigurationError):
+            require_non_empty([], "items")
+
+    def test_error_messages_name_the_parameter(self):
+        with pytest.raises(ConfigurationError, match="cache_size"):
+            require_positive(0, "cache_size")

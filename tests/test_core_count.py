@@ -1,0 +1,153 @@
+"""Tests for the COUNT protocol building blocks."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.common.rng import RandomSource
+from repro.core.count import (
+    CountMapFunction,
+    LeaderElection,
+    count_estimate_from_map,
+    network_size_from_estimate,
+    peak_initial_values,
+)
+
+
+class TestPeakDistribution:
+    def test_peak_values(self):
+        values = peak_initial_values(5, leader=2)
+        assert values == [0.0, 0.0, 1.0, 0.0, 0.0]
+
+    def test_custom_peak_value(self):
+        values = peak_initial_values(4, leader=0, peak_value=4.0)
+        assert values[0] == 4.0
+        assert sum(values) == 4.0
+
+    def test_leader_must_be_valid(self):
+        with pytest.raises(ConfigurationError):
+            peak_initial_values(3, leader=3)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            peak_initial_values(0)
+
+    def test_size_from_estimate(self):
+        assert network_size_from_estimate(0.01) == pytest.approx(100.0)
+
+    def test_size_from_zero_or_none_is_infinite(self):
+        assert network_size_from_estimate(0.0) == math.inf
+        assert network_size_from_estimate(None) == math.inf
+        assert network_size_from_estimate(-0.5) == math.inf
+
+
+class TestCountMapFunction:
+    def test_initial_state_for_leader(self):
+        assert CountMapFunction().initial_state(7) == {7: 1.0}
+
+    def test_initial_state_for_non_leader(self):
+        assert CountMapFunction().initial_state(None) == {}
+
+    def test_initial_state_from_mapping(self):
+        assert CountMapFunction().initial_state({3: 0.5}) == {3: 0.5}
+
+    def test_initial_state_invalid_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            CountMapFunction().initial_state("leader")
+
+    def test_merge_shared_key_averaged(self):
+        function = CountMapFunction()
+        merged, merged_other = function.merge({1: 0.4}, {1: 0.2})
+        assert merged == {1: pytest.approx(0.3)}
+        assert merged == merged_other
+
+    def test_merge_disjoint_keys_halved(self):
+        function = CountMapFunction()
+        merged, _ = function.merge({1: 0.4}, {2: 0.8})
+        assert merged == {1: pytest.approx(0.2), 2: pytest.approx(0.4)}
+
+    def test_merge_with_empty_map_halves_everything(self):
+        function = CountMapFunction()
+        merged, _ = function.merge({5: 1.0}, {})
+        assert merged == {5: 0.5}
+
+    def test_merge_conserves_total_mass(self):
+        function = CountMapFunction()
+        state_a = {1: 0.4, 2: 0.6}
+        state_b = {2: 0.2, 3: 1.0}
+        merged_a, merged_b = function.merge(state_a, state_b)
+        before = sum(state_a.values()) + sum(state_b.values())
+        after = sum(merged_a.values()) + sum(merged_b.values())
+        assert after == pytest.approx(before)
+
+    def test_merge_does_not_mutate_inputs(self):
+        function = CountMapFunction()
+        state_a = {1: 0.4}
+        state_b = {2: 0.8}
+        function.merge(state_a, state_b)
+        assert state_a == {1: 0.4}
+        assert state_b == {2: 0.8}
+
+    def test_estimate_of_empty_map_is_none(self):
+        assert CountMapFunction().estimate({}) is None
+
+    def test_estimate_averages_entries(self):
+        assert CountMapFunction().estimate({1: 0.2, 2: 0.4}) == pytest.approx(0.3)
+
+    def test_conserved_quantity_counts_total_mass(self):
+        states = [{1: 1.0}, {}, {2: 1.0}]
+        assert CountMapFunction().conserved_quantity(states) == 2.0
+
+
+class TestCountEstimateFromMap:
+    def test_empty_map_gives_infinity(self):
+        assert count_estimate_from_map({}) == math.inf
+
+    def test_single_entry(self):
+        assert count_estimate_from_map({1: 0.01}) == pytest.approx(100.0)
+
+    def test_trimming_discards_outliers(self):
+        state = {1: 1e-9, 2: 0.01, 3: 0.01, 4: 0.01, 5: 0.5, 6: 0.01}
+        trimmed = count_estimate_from_map(state, discard_fraction=1.0 / 3.0)
+        assert trimmed == pytest.approx(100.0, rel=0.05)
+
+
+class TestLeaderElection:
+    def test_lead_probability(self):
+        election = LeaderElection(concurrent_target=5, estimated_size=100)
+        assert election.lead_probability == pytest.approx(0.05)
+
+    def test_probability_capped_at_one(self):
+        election = LeaderElection(concurrent_target=50, estimated_size=10)
+        assert election.lead_probability == 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeaderElection(concurrent_target=0, estimated_size=10)
+        with pytest.raises(ConfigurationError):
+            LeaderElection(concurrent_target=1, estimated_size=0)
+
+    def test_expected_number_of_leaders(self):
+        rng = RandomSource(11)
+        election = LeaderElection(concurrent_target=10, estimated_size=500)
+        leaders = election.elect(list(range(500)), rng)
+        assert 2 <= len(leaders) <= 25  # Poisson(10), generous bounds
+
+    def test_initial_maps(self):
+        rng = RandomSource(3)
+        election = LeaderElection(concurrent_target=3, estimated_size=50)
+        maps = election.initial_maps(list(range(50)), rng)
+        assert len(maps) == 50
+        leader_nodes = [node for node, mapping in maps.items() if mapping]
+        for node in leader_nodes:
+            assert maps[node] == {node: 1.0}
+
+    def test_update_estimate(self):
+        election = LeaderElection(concurrent_target=3, estimated_size=50)
+        election.update_estimate(80.0)
+        assert election.estimated_size == 80.0
+        election.update_estimate(math.inf)
+        assert election.estimated_size == 80.0
+        election.update_estimate(-5)
+        assert election.estimated_size == 80.0

@@ -1,0 +1,115 @@
+"""Tests for epoch configuration, tracking and synchronisation rules."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.epoch import EpochConfig, EpochTracker, cycles_for_accuracy
+
+
+class TestCyclesForAccuracy:
+    def test_matches_log_formula(self):
+        # rho = 0.1: each cycle removes one decimal digit of variance.
+        assert cycles_for_accuracy(1e-6, 0.1) == 6
+
+    def test_rounds_up(self):
+        assert cycles_for_accuracy(1e-5, 0.3) >= 9
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cycles_for_accuracy(2.0, 0.3)
+        with pytest.raises(ConfigurationError):
+            cycles_for_accuracy(0.0, 0.3)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cycles_for_accuracy(0.1, 1.5)
+
+
+class TestEpochConfig:
+    def test_default_epoch_length_is_gamma_delta(self):
+        config = EpochConfig(cycle_length=2.0, cycles_per_epoch=10)
+        assert config.effective_epoch_length == 20.0
+
+    def test_explicit_epoch_length(self):
+        config = EpochConfig(cycle_length=1.0, cycles_per_epoch=10, epoch_length=35.0)
+        assert config.effective_epoch_length == 35.0
+
+    def test_epoch_start_time(self):
+        config = EpochConfig(cycle_length=1.0, cycles_per_epoch=10)
+        assert config.epoch_start_time(3) == 30.0
+
+    def test_epoch_for_time(self):
+        config = EpochConfig(cycle_length=1.0, cycles_per_epoch=10)
+        assert config.epoch_for_time(25.0) == 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EpochConfig(cycle_length=0.0)
+        with pytest.raises(ConfigurationError):
+            EpochConfig(cycles_per_epoch=0)
+        with pytest.raises(ConfigurationError):
+            EpochConfig(epoch_length=-1.0)
+        with pytest.raises(ConfigurationError):
+            EpochConfig().epoch_start_time(-1)
+        with pytest.raises(ConfigurationError):
+            EpochConfig().epoch_for_time(-0.1)
+
+
+class TestEpochTracker:
+    def make_tracker(self) -> EpochTracker:
+        return EpochTracker(config=EpochConfig(cycle_length=1.0, cycles_per_epoch=3))
+
+    def test_termination_after_gamma_cycles(self):
+        tracker = self.make_tracker()
+        assert not tracker.is_terminated
+        for _ in range(3):
+            tracker.complete_cycle()
+        assert tracker.is_terminated
+
+    def test_start_epoch_resets_cycles(self):
+        tracker = self.make_tracker()
+        tracker.complete_cycle()
+        tracker.start_epoch(1)
+        assert tracker.current_epoch == 1
+        assert tracker.cycles_completed == 0
+
+    def test_cannot_move_backwards(self):
+        tracker = self.make_tracker()
+        tracker.start_epoch(4)
+        with pytest.raises(ConfigurationError):
+            tracker.start_epoch(2)
+
+    def test_observe_newer_epoch_jumps(self):
+        tracker = self.make_tracker()
+        tracker.complete_cycle()
+        jumped = tracker.observe_epoch(5)
+        assert jumped
+        assert tracker.current_epoch == 5
+        assert tracker.cycles_completed == 0
+
+    def test_observe_older_or_equal_epoch_ignored(self):
+        tracker = self.make_tracker()
+        tracker.start_epoch(3)
+        assert not tracker.observe_epoch(3)
+        assert not tracker.observe_epoch(1)
+        assert tracker.current_epoch == 3
+
+    def test_finish_epoch_records_result(self):
+        tracker = self.make_tracker()
+        tracker.finish_epoch(42.0)
+        assert tracker.completed_results == {0: 42.0}
+        assert tracker.latest_result() == 42.0
+
+    def test_finish_epoch_ignores_missing_or_infinite(self):
+        tracker = self.make_tracker()
+        tracker.finish_epoch(None)
+        tracker.finish_epoch(float("inf"))
+        assert tracker.completed_results == {}
+        assert tracker.latest_result() is None
+
+    def test_latest_result_uses_newest_epoch(self):
+        tracker = self.make_tracker()
+        tracker.finish_epoch(1.0)
+        tracker.start_epoch(1)
+        tracker.finish_epoch(2.0)
+        assert tracker.latest_result() == 2.0

@@ -1,0 +1,149 @@
+"""Tests for the primitive aggregation functions (the UPDATE step)."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core.functions import (
+    AverageFunction,
+    GeometricMeanFunction,
+    MaxFunction,
+    MinFunction,
+    PushSumFunction,
+    VectorFunction,
+)
+
+
+class TestAverage:
+    def test_merge_returns_pair_mean_for_both(self):
+        function = AverageFunction()
+        assert function.merge(4.0, 10.0) == (7.0, 7.0)
+
+    def test_merge_conserves_sum(self):
+        function = AverageFunction()
+        a, b = function.merge(3.5, -1.5)
+        assert a + b == pytest.approx(3.5 - 1.5)
+
+    def test_initial_state_and_estimate_are_identity(self):
+        function = AverageFunction()
+        assert function.initial_state(5) == 5.0
+        assert function.estimate(5.0) == 5.0
+
+    def test_true_value(self):
+        assert AverageFunction().true_value([1.0, 2.0, 3.0]) == 2.0
+
+    def test_true_value_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            AverageFunction().true_value([])
+
+    def test_conserved_quantity_is_sum(self):
+        assert AverageFunction().conserved_quantity([1.0, 2.0, 3.0]) == 6.0
+
+
+class TestMinMax:
+    def test_min_merge(self):
+        assert MinFunction().merge(4.0, 10.0) == (4.0, 4.0)
+
+    def test_max_merge(self):
+        assert MaxFunction().merge(4.0, 10.0) == (10.0, 10.0)
+
+    def test_true_values(self):
+        assert MinFunction().true_value([3.0, -1.0, 7.0]) == -1.0
+        assert MaxFunction().true_value([3.0, -1.0, 7.0]) == 7.0
+
+    def test_true_value_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            MinFunction().true_value([])
+        with pytest.raises(ProtocolError):
+            MaxFunction().true_value([])
+
+    def test_idempotent_merge(self):
+        assert MinFunction().merge(5.0, 5.0) == (5.0, 5.0)
+
+
+class TestGeometricMean:
+    def test_merge_is_sqrt_of_product(self):
+        a, b = GeometricMeanFunction().merge(4.0, 9.0)
+        assert a == b == pytest.approx(6.0)
+
+    def test_merge_conserves_product(self):
+        a, b = GeometricMeanFunction().merge(4.0, 9.0)
+        assert a * b == pytest.approx(36.0)
+
+    def test_negative_initial_value_rejected(self):
+        with pytest.raises(ProtocolError):
+            GeometricMeanFunction().initial_state(-1.0)
+
+    def test_true_value(self):
+        assert GeometricMeanFunction().true_value([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_zero_drives_everything_to_zero(self):
+        a, b = GeometricMeanFunction().merge(0.0, 100.0)
+        assert a == b == 0.0
+
+
+class TestPushSum:
+    def test_initial_state_has_unit_weight(self):
+        assert PushSumFunction().initial_state(6.0) == (6.0, 1.0)
+
+    def test_merge_conserves_mass_and_weight(self):
+        function = PushSumFunction()
+        (vi, wi), (vr, wr) = function.merge((6.0, 1.0), (2.0, 1.0))
+        assert vi + vr == pytest.approx(8.0)
+        assert wi + wr == pytest.approx(2.0)
+
+    def test_initiator_keeps_half(self):
+        function = PushSumFunction()
+        (vi, wi), _ = function.merge((6.0, 1.0), (2.0, 1.0))
+        assert (vi, wi) == (3.0, 0.5)
+
+    def test_estimate_is_value_over_weight(self):
+        assert PushSumFunction().estimate((6.0, 2.0)) == 3.0
+
+    def test_estimate_with_zero_weight_is_none(self):
+        assert PushSumFunction().estimate((6.0, 0.0)) is None
+
+    def test_true_value_is_average(self):
+        assert PushSumFunction().true_value([2.0, 4.0]) == 3.0
+
+
+class TestVectorFunction:
+    def test_requires_components(self):
+        with pytest.raises(ProtocolError):
+            VectorFunction([])
+
+    def test_broadcast_scalar_initial_value(self):
+        vector = VectorFunction([AverageFunction(), MaxFunction()])
+        assert vector.initial_state(3.0) == (3.0, 3.0)
+
+    def test_per_component_initial_values(self):
+        vector = VectorFunction([AverageFunction(), MaxFunction()])
+        assert vector.initial_state((1.0, 2.0)) == (1.0, 2.0)
+
+    def test_wrong_arity_rejected(self):
+        vector = VectorFunction([AverageFunction(), MaxFunction()])
+        with pytest.raises(ProtocolError):
+            vector.initial_state((1.0, 2.0, 3.0))
+
+    def test_merge_applies_each_component(self):
+        vector = VectorFunction([AverageFunction(), MaxFunction()])
+        new_a, new_b = vector.merge((0.0, 1.0), (10.0, 5.0))
+        assert new_a == (5.0, 5.0)
+        assert new_b == (5.0, 5.0)
+
+    def test_merge_asymmetric_component(self):
+        vector = VectorFunction([PushSumFunction()])
+        new_a, new_b = vector.merge(((6.0, 1.0),), ((2.0, 1.0),))
+        assert new_a != new_b
+
+    def test_estimates_per_component(self):
+        vector = VectorFunction([AverageFunction(), MaxFunction()])
+        assert vector.estimates((2.0, 9.0)) == (2.0, 9.0)
+
+    def test_scalar_estimate_is_first_component(self):
+        vector = VectorFunction([AverageFunction(), MaxFunction()])
+        assert vector.estimate((2.0, 9.0)) == 2.0
+
+    def test_len(self):
+        assert len(VectorFunction([AverageFunction()] * 4)) == 4

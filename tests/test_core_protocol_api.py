@@ -1,0 +1,134 @@
+"""Tests for the high-level `aggregate` convenience API."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.derived import NetworkSizeAggregate
+from repro.core.protocol import KNOWN_AGGREGATES, aggregate
+from repro.simulator.failures import ProportionalCrashModel
+from repro.simulator.transport import TransportModel
+from repro.topology import TopologySpec
+
+
+class TestBasicAggregates:
+    def test_average(self):
+        result = aggregate([2.0, 4.0, 6.0, 8.0] * 25, aggregate="average", seed=1)
+        assert result.mean_estimate == pytest.approx(5.0, rel=1e-6)
+        assert result.relative_error < 1e-6
+        assert result.true_value == 5.0
+
+    def test_sum(self):
+        values = [float(i) for i in range(1, 101)]
+        result = aggregate(values, aggregate="sum", seed=2)
+        assert result.true_value == 5050.0
+        assert result.mean_estimate == pytest.approx(5050.0, rel=1e-3)
+
+    def test_count(self):
+        result = aggregate([0.0] * 150, aggregate="count", seed=3)
+        assert result.true_value == 150.0
+        assert result.mean_estimate == pytest.approx(150.0, rel=1e-3)
+
+    def test_variance(self):
+        result = aggregate([1.0, 5.0] * 60, aggregate="variance", seed=4)
+        assert result.true_value == pytest.approx(4.0)
+        assert result.mean_estimate == pytest.approx(4.0, rel=1e-3)
+
+    def test_min_and_max(self):
+        values = [float(i) for i in range(10, 110)]
+        low = aggregate(values, aggregate="min", seed=5)
+        high = aggregate(values, aggregate="max", seed=5)
+        assert low.mean_estimate == 10.0
+        assert high.mean_estimate == 109.0
+
+    def test_geometric_mean(self):
+        result = aggregate([2.0, 8.0] * 50, aggregate="geometric-mean", seed=6)
+        assert result.mean_estimate == pytest.approx(4.0, rel=1e-4)
+
+    def test_product(self):
+        result = aggregate([1.1] * 80, aggregate="product", seed=7, cycles=50)
+        assert result.true_value == pytest.approx(1.1 ** 80)
+        assert result.mean_estimate == pytest.approx(1.1 ** 80, rel=0.05)
+
+    def test_custom_derived_aggregate_instance(self):
+        result = aggregate([0.0] * 80, aggregate=NetworkSizeAggregate(leader=3), seed=8)
+        assert result.mean_estimate == pytest.approx(80.0, rel=1e-3)
+
+
+class TestResultObject:
+    def test_node_estimates_cover_all_nodes(self):
+        result = aggregate([1.0] * 60, aggregate="average", seed=1)
+        assert len(result.node_estimates) == 60
+
+    def test_max_node_error_small_after_convergence(self):
+        result = aggregate([3.0, 9.0] * 40, aggregate="average", seed=1, cycles=40)
+        assert result.max_node_error() < 1e-6
+
+    def test_trace_is_exposed(self):
+        result = aggregate([1.0, 2.0] * 30, aggregate="average", seed=1, cycles=12)
+        assert len(result.trace) == 13
+        assert result.trace.final.cycle == 12
+
+
+class TestConfiguration:
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate([1.0, 2.0, 3.0], aggregate="median")
+
+    def test_known_aggregate_names_all_work(self):
+        values = [1.0, 2.0, 3.0, 4.0] * 10
+        for name in sorted(KNOWN_AGGREGATES):
+            result = aggregate(values, aggregate=name, seed=1, cycles=15)
+            assert math.isfinite(result.mean_estimate)
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate([1.0], aggregate="average")
+
+    def test_custom_topology(self):
+        result = aggregate(
+            [5.0, 15.0] * 40,
+            aggregate="average",
+            topology=TopologySpec("watts-strogatz", degree=6, beta=0.5),
+            seed=1,
+            cycles=40,
+        )
+        assert result.mean_estimate == pytest.approx(10.0, rel=1e-3)
+
+    def test_newscast_topology(self):
+        result = aggregate(
+            [5.0, 15.0] * 40,
+            aggregate="average",
+            topology=TopologySpec("newscast", degree=10),
+            seed=1,
+        )
+        assert result.mean_estimate == pytest.approx(10.0, rel=1e-3)
+
+    def test_seed_reproducibility(self):
+        values = [float(i) for i in range(80)]
+        first = aggregate(values, aggregate="average", seed=9, cycles=5)
+        second = aggregate(values, aggregate="average", seed=9, cycles=5)
+        assert first.node_estimates == second.node_estimates
+
+    def test_failure_model_changes_outcome_but_not_wildly(self):
+        values = [float(i) for i in range(100)]
+        result = aggregate(
+            values,
+            aggregate="average",
+            seed=10,
+            failure_model=ProportionalCrashModel(0.02),
+        )
+        assert result.relative_error < 0.2
+
+    def test_transport_model_passed_through(self):
+        values = [float(i) for i in range(100)]
+        result = aggregate(
+            values,
+            aggregate="average",
+            seed=10,
+            cycles=10,
+            transport=TransportModel(link_failure_probability=0.9),
+        )
+        # Convergence is slowed down, so node estimates still disagree.
+        assert result.trace.final.variance > 0

@@ -1,0 +1,85 @@
+"""Tests for the experiment runner plumbing."""
+
+import pytest
+
+from repro.common.rng import RandomSource
+from repro.experiments.runner import (
+    peak_values_for_count,
+    repeat_simulations,
+    repeat_traces,
+    run_average_once,
+    sweep,
+    uniform_initial_values,
+)
+from repro.simulator.failures import CountCrashModel
+from repro.simulator.transport import TransportModel
+from repro.topology import TopologySpec
+
+
+class TestValueGenerators:
+    def test_uniform_initial_values_bounds_and_length(self):
+        rng = RandomSource(1)
+        values = uniform_initial_values(200, rng, low=5.0, high=6.0)
+        assert len(values) == 200
+        assert all(5.0 <= value < 6.0 for value in values)
+
+    def test_peak_values_for_count_default(self):
+        values = peak_values_for_count(10)
+        assert values[0] == 1.0
+        assert sum(values) == 1.0
+
+    def test_peak_values_with_custom_peak(self):
+        values = peak_values_for_count(10, peak_value=10.0)
+        assert values[0] == 10.0
+
+
+class TestRunAverageOnce:
+    def test_returns_simulator_with_trace(self):
+        rng = RandomSource(2)
+        values = [float(i) for i in range(80)]
+        simulator = run_average_once(
+            TopologySpec("random", degree=8), 80, values, cycles=10, rng=rng
+        )
+        assert simulator.cycle_index == 10
+        assert len(simulator.trace) == 11
+        assert simulator.trace.final.mean == pytest.approx(sum(values) / 80)
+
+    def test_transport_and_failures_are_honoured(self):
+        rng = RandomSource(3)
+        values = [float(i) for i in range(60)]
+        simulator = run_average_once(
+            TopologySpec("random", degree=6),
+            60,
+            values,
+            cycles=5,
+            rng=rng,
+            transport=TransportModel(link_failure_probability=1.0),
+            failure_model=CountCrashModel(2),
+        )
+        assert simulator.trace.final.completed_exchanges == 0
+        assert len(simulator.participant_ids()) == 50
+
+
+class TestRepetitionHelpers:
+    def test_repeat_traces_uses_independent_seeds(self):
+        def make_run(index, rng):
+            values = uniform_initial_values(30, rng)
+            return run_average_once(
+                TopologySpec("random", degree=4), 30, values, 3, rng
+            ).trace
+
+        traces = repeat_traces(3, seed=9, make_run=make_run)
+        assert len(traces) == 3
+        means = [trace.initial.mean for trace in traces]
+        assert len(set(means)) == 3  # different initial draws per run
+
+    def test_repeat_traces_reproducible(self):
+        def make_run(index, rng):
+            return rng.random()
+
+        assert repeat_simulations(4, 7, make_run) == repeat_simulations(4, 7, make_run)
+
+    def test_sweep_preserves_order_and_values(self):
+        result = sweep([3, 1, 2], lambda value: value * 10)
+        assert list(result.keys()) == [3, 1, 2]
+        assert result[2] == 20

@@ -1,0 +1,116 @@
+"""Tests for the NEWSCAST neighbour cache."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RandomSource
+from repro.newscast.cache import CacheEntry, NewscastCache
+
+
+class TestCacheEntry:
+    def test_ordering_by_timestamp(self):
+        old = CacheEntry(timestamp=1.0, peer_id=5)
+        new = CacheEntry(timestamp=2.0, peer_id=3)
+        assert old < new
+        assert new.is_fresher_than(old)
+
+    def test_equal_timestamps_not_fresher(self):
+        a = CacheEntry(timestamp=1.0, peer_id=1)
+        b = CacheEntry(timestamp=1.0, peer_id=2)
+        assert not a.is_fresher_than(b)
+
+
+class TestBasicCacheBehaviour:
+    def test_capacity_enforced(self):
+        cache = NewscastCache(3)
+        for peer in range(10):
+            cache.insert(CacheEntry(timestamp=float(peer), peer_id=peer))
+        assert len(cache) == 3
+        assert set(cache.peer_ids()) == {7, 8, 9}
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(ConfigurationError):
+            NewscastCache(0)
+
+    def test_fresher_entry_replaces_stale_one(self):
+        cache = NewscastCache(5)
+        cache.insert(CacheEntry(timestamp=1.0, peer_id=4))
+        cache.insert(CacheEntry(timestamp=3.0, peer_id=4))
+        assert cache.entry_for(4).timestamp == 3.0
+        assert len(cache) == 1
+
+    def test_stale_entry_does_not_replace_fresh_one(self):
+        cache = NewscastCache(5)
+        cache.insert(CacheEntry(timestamp=3.0, peer_id=4))
+        cache.insert(CacheEntry(timestamp=1.0, peer_id=4))
+        assert cache.entry_for(4).timestamp == 3.0
+
+    def test_entries_sorted_freshest_first(self):
+        cache = NewscastCache(5)
+        for peer, stamp in [(1, 5.0), (2, 1.0), (3, 3.0)]:
+            cache.insert(CacheEntry(timestamp=stamp, peer_id=peer))
+        assert [entry.peer_id for entry in cache.entries()] == [1, 3, 2]
+
+    def test_remove(self):
+        cache = NewscastCache(5)
+        cache.insert(CacheEntry(timestamp=1.0, peer_id=9))
+        cache.remove(9)
+        assert 9 not in cache
+        cache.remove(9)  # idempotent
+
+    def test_timestamps(self):
+        cache = NewscastCache(5)
+        assert cache.oldest_timestamp() is None
+        cache.insert(CacheEntry(timestamp=1.0, peer_id=1))
+        cache.insert(CacheEntry(timestamp=7.0, peer_id=2))
+        assert cache.oldest_timestamp() == 1.0
+        assert cache.freshest_timestamp() == 7.0
+
+    def test_copy_is_independent(self):
+        cache = NewscastCache(5)
+        cache.insert(CacheEntry(timestamp=1.0, peer_id=1))
+        clone = cache.copy()
+        clone.insert(CacheEntry(timestamp=2.0, peer_id=2))
+        assert 2 not in cache
+
+    def test_random_peer(self):
+        rng = RandomSource(4)
+        cache = NewscastCache(5)
+        assert cache.random_peer(rng) is None
+        cache.insert(CacheEntry(timestamp=1.0, peer_id=42))
+        assert cache.random_peer(rng) == 42
+
+
+class TestMerge:
+    def test_merge_keeps_freshest_and_excludes_self(self):
+        mine = NewscastCache(3)
+        mine.insert(CacheEntry(timestamp=1.0, peer_id=10))
+        mine.insert(CacheEntry(timestamp=2.0, peer_id=11))
+        theirs = NewscastCache(3)
+        theirs.insert(CacheEntry(timestamp=5.0, peer_id=12))
+        theirs.insert(CacheEntry(timestamp=0.5, peer_id=1))  # my own id, stale
+
+        merged = mine.merged_with(theirs, own_id=1, other_id=2, now=6.0)
+        peers = set(merged.peer_ids())
+        assert 1 not in peers            # own descriptor excluded
+        assert 2 in peers                # partner added with fresh timestamp
+        assert merged.entry_for(2).timestamp == 6.0
+        assert len(merged) == 3          # capacity respected
+        assert 12 in peers               # freshest survive
+
+    def test_merge_prefers_freshest_duplicate(self):
+        mine = NewscastCache(4)
+        mine.insert(CacheEntry(timestamp=1.0, peer_id=7))
+        theirs = NewscastCache(4)
+        theirs.insert(CacheEntry(timestamp=9.0, peer_id=7))
+        merged = mine.merged_with(theirs, own_id=0, other_id=3, now=10.0)
+        assert merged.entry_for(7).timestamp == 9.0
+
+    def test_merge_does_not_mutate_inputs(self):
+        mine = NewscastCache(2)
+        mine.insert(CacheEntry(timestamp=1.0, peer_id=7))
+        theirs = NewscastCache(2)
+        theirs.insert(CacheEntry(timestamp=2.0, peer_id=8))
+        mine.merged_with(theirs, own_id=0, other_id=3, now=4.0)
+        assert set(mine.peer_ids()) == {7}
+        assert set(theirs.peer_ids()) == {8}

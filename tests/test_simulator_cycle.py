@@ -1,0 +1,218 @@
+"""Tests for the cycle-driven simulation engine."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.rng import RandomSource
+from repro.core.functions import AverageFunction, MaxFunction, PushSumFunction
+from repro.simulator.cycle_sim import CycleSimulator
+from repro.simulator.transport import TransportModel
+from repro.topology import TopologySpec, build_overlay
+
+
+def make_simulator(size=50, seed=7, values=None, function=None, transport=None, degree=6):
+    rng = RandomSource(seed)
+    overlay = build_overlay(TopologySpec("random", degree=degree), size, rng.child("topology"))
+    return CycleSimulator(
+        overlay=overlay,
+        function=function or AverageFunction(),
+        initial_values=values if values is not None else [float(i) for i in range(size)],
+        rng=rng.child("sim"),
+        transport=transport or TransportModel(),
+    )
+
+
+class TestConstruction:
+    def test_initial_record_present(self):
+        simulator = make_simulator()
+        assert len(simulator.trace) == 1
+        assert simulator.trace.initial.cycle == 0
+        assert simulator.trace.initial.participant_count == 50
+
+    def test_initial_values_as_mapping(self):
+        rng = RandomSource(1)
+        overlay = build_overlay(TopologySpec("random", degree=3), 10, rng.child("t"))
+        simulator = CycleSimulator(
+            overlay, AverageFunction(), {node: 2.0 for node in range(10)}, rng.child("s")
+        )
+        assert simulator.trace.initial.mean == 2.0
+
+    def test_missing_initial_values_rejected(self):
+        rng = RandomSource(1)
+        overlay = build_overlay(TopologySpec("random", degree=3), 10, rng.child("t"))
+        with pytest.raises(ConfigurationError):
+            CycleSimulator(overlay, AverageFunction(), [1.0] * 5, rng.child("s"))
+
+    def test_state_of_unknown_node_rejected(self):
+        simulator = make_simulator()
+        with pytest.raises(SimulationError):
+            simulator.state_of(999)
+
+
+class TestAveraging:
+    def test_sum_conserved_without_failures(self):
+        simulator = make_simulator()
+        before = sum(simulator.states().values())
+        simulator.run(5)
+        after = sum(simulator.states().values())
+        assert after == pytest.approx(before)
+
+    def test_variance_shrinks_every_cycle(self):
+        simulator = make_simulator()
+        simulator.run(8)
+        variances = simulator.trace.variances()
+        assert all(b <= a for a, b in zip(variances, variances[1:]))
+
+    def test_converges_to_true_average(self):
+        values = [float(i) for i in range(50)]
+        simulator = make_simulator(values=values)
+        simulator.run(40)
+        truth = sum(values) / len(values)
+        for estimate in simulator.estimates().values():
+            assert estimate == pytest.approx(truth, rel=1e-6)
+
+    def test_mean_estimate_stays_at_true_average(self):
+        simulator = make_simulator()
+        simulator.run(5)
+        assert simulator.trace.final.mean == pytest.approx(24.5)
+
+    def test_run_returns_trace(self):
+        simulator = make_simulator()
+        trace = simulator.run(3)
+        assert trace is simulator.trace
+        assert simulator.cycle_index == 3
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_simulator().run(-1)
+
+
+class TestOtherFunctions:
+    def test_max_spreads_epidemically(self):
+        values = [0.0] * 49 + [99.0]
+        simulator = make_simulator(values=values, function=MaxFunction())
+        simulator.run(15)
+        assert all(value == 99.0 for value in simulator.estimates().values())
+
+    def test_push_sum_converges_to_average(self):
+        values = [float(i) for i in range(50)]
+        simulator = make_simulator(values=values, function=PushSumFunction())
+        simulator.run(40)
+        truth = sum(values) / len(values)
+        for estimate in simulator.estimates().values():
+            assert estimate == pytest.approx(truth, rel=1e-4)
+
+    def test_push_sum_conserves_total_mass(self):
+        simulator = make_simulator(function=PushSumFunction())
+        before = sum(value for value, _ in simulator.states().values())
+        simulator.run(5)
+        after = sum(value for value, _ in simulator.states().values())
+        assert after == pytest.approx(before)
+
+
+class TestMembershipOperations:
+    def test_crash_node_removes_state_and_overlay_entry(self):
+        simulator = make_simulator()
+        simulator.crash_node(3)
+        assert 3 not in simulator.participant_ids()
+        assert 3 in simulator.crashed_ids()
+        assert not simulator.overlay.contains(3)
+
+    def test_crash_is_idempotent(self):
+        simulator = make_simulator()
+        simulator.crash_node(3)
+        simulator.crash_node(3)
+        assert simulator.crashed_ids().count(3) == 1
+
+    def test_add_node_waits_for_next_epoch_by_default(self):
+        simulator = make_simulator()
+        node = simulator.add_node(value=5.0)
+        assert node not in simulator.participant_ids()
+        assert node in simulator.non_participant_ids()
+        assert simulator.overlay.contains(node)
+
+    def test_add_participating_node(self):
+        simulator = make_simulator()
+        node = simulator.add_node(value=5.0, participating=True)
+        assert node in simulator.participant_ids()
+        assert simulator.state_of(node) == 5.0
+
+    def test_promote_non_participants(self):
+        simulator = make_simulator()
+        node = simulator.add_node()
+        promoted = simulator.promote_non_participants({node: 7.0})
+        assert promoted == [node]
+        assert simulator.state_of(node) == 7.0
+        assert simulator.non_participant_ids() == []
+
+    def test_restart_epoch_reinitialises_states(self):
+        simulator = make_simulator()
+        simulator.run(3)
+        new_values = {node: 1.0 for node in simulator.participant_ids()}
+        simulator.restart_epoch(new_values)
+        assert all(state == 1.0 for state in simulator.states().values())
+
+    def test_restart_epoch_requires_all_values(self):
+        simulator = make_simulator()
+        with pytest.raises(ConfigurationError):
+            simulator.restart_epoch({0: 1.0})
+
+    def test_non_participants_do_not_skew_estimates(self):
+        simulator = make_simulator(values=[10.0] * 50)
+        simulator.add_node(value=0.0)
+        simulator.run(3)
+        assert simulator.trace.final.mean == pytest.approx(10.0)
+
+
+class TestTransportEffects:
+    def test_total_link_failure_freezes_states(self):
+        simulator = make_simulator(transport=TransportModel(link_failure_probability=1.0))
+        before = dict(simulator.states())
+        simulator.run(3)
+        assert simulator.states() == before
+        assert simulator.trace.final.completed_exchanges == 0
+        assert simulator.trace.final.failed_exchanges == 50
+
+    def test_link_failure_slows_convergence(self):
+        fast = make_simulator(seed=11)
+        slow = make_simulator(seed=11, transport=TransportModel(link_failure_probability=0.7))
+        fast.run(10)
+        slow.run(10)
+        assert slow.trace.final.variance > fast.trace.final.variance
+
+    def test_response_loss_breaks_sum_conservation(self):
+        simulator = make_simulator(
+            values=[0.0] * 49 + [1000.0],
+            transport=TransportModel(message_loss_probability=0.4),
+            seed=13,
+        )
+        before = sum(simulator.states().values())
+        simulator.run(10)
+        after = sum(simulator.states().values())
+        assert after != pytest.approx(before)
+
+    def test_exchange_accounting(self):
+        simulator = make_simulator(transport=TransportModel(link_failure_probability=0.5))
+        record = simulator.run_cycle()
+        assert record.completed_exchanges + record.failed_exchanges == 50
+
+
+class TestCostModel:
+    def test_contact_counts_mean_close_to_two(self):
+        simulator = make_simulator(size=200, degree=10)
+        total = 0
+        samples = 0
+        for _ in range(5):
+            simulator.run_cycle()
+            counts = simulator.last_cycle_contact_counts
+            total += sum(counts.values())
+            samples += len(counts)
+        assert total / samples == pytest.approx(2.0, abs=0.1)
+
+    def test_every_node_participates_at_least_once_without_failures(self):
+        simulator = make_simulator(size=100, degree=8)
+        simulator.run_cycle()
+        counts = simulator.last_cycle_contact_counts
+        assert min(counts.values()) >= 1

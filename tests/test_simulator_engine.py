@@ -1,0 +1,122 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulator.engine import EventScheduler
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(2.0, lambda: order.append("b"))
+        scheduler.schedule(1.0, lambda: order.append("a"))
+        scheduler.schedule(3.0, lambda: order.append("c"))
+        scheduler.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(1.0, lambda: order.append("first"))
+        scheduler.schedule(1.0, lambda: order.append("second"))
+        scheduler.run()
+        assert order == ["first", "second"]
+
+    def test_now_advances_with_events(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(5.0, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [5.0]
+        assert scheduler.now == 5.0
+
+    def test_schedule_in_the_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.schedule(0.5, lambda: None)
+
+    def test_schedule_after(self):
+        scheduler = EventScheduler()
+        times = []
+        scheduler.schedule_after(1.0, lambda: times.append(scheduler.now))
+        scheduler.run()
+        assert times == [1.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventScheduler().schedule_after(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = scheduler.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        scheduler.run()
+        assert fired == []
+
+    def test_is_empty_accounts_for_cancellations(self):
+        scheduler = EventScheduler()
+        handle = scheduler.schedule(1.0, lambda: None)
+        assert not scheduler.is_empty()
+        handle.cancel()
+        assert scheduler.is_empty()
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_horizon(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(1))
+        scheduler.schedule(5.0, lambda: fired.append(5))
+        executed = scheduler.run_until(2.0)
+        assert executed == 1
+        assert fired == [1]
+        assert scheduler.now == 2.0
+        scheduler.run_until(10.0)
+        assert fired == [1, 5]
+
+    def test_events_can_schedule_new_events(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def chain():
+            fired.append(scheduler.now)
+            if scheduler.now < 3.0:
+                scheduler.schedule_after(1.0, chain)
+
+        scheduler.schedule(1.0, chain)
+        scheduler.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_max_events_guard(self):
+        scheduler = EventScheduler()
+
+        def forever():
+            scheduler.schedule_after(0.1, forever)
+
+        scheduler.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(1e9, max_events=100)
+
+    def test_run_guard(self):
+        scheduler = EventScheduler()
+
+        def forever():
+            scheduler.schedule_after(0.1, forever)
+
+        scheduler.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            scheduler.run(max_events=50)
+
+    def test_processed_counter(self):
+        scheduler = EventScheduler()
+        for time in (1.0, 2.0, 3.0):
+            scheduler.schedule(time, lambda: None)
+        scheduler.run()
+        assert scheduler.processed_events == 3

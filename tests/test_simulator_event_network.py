@@ -1,0 +1,155 @@
+"""Tests for the event-driven message-passing network."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.rng import RandomSource
+from repro.simulator.event_sim import EventDrivenNetwork, Message, SimulatedProcess
+from repro.simulator.transport import DelayModel, TransportModel
+
+
+class Recorder(SimulatedProcess):
+    """A process that records everything it receives and can echo."""
+
+    def __init__(self, echo: bool = False):
+        self.received = []
+        self.started = False
+        self.crashed = False
+        self.echo = echo
+
+    def start(self, network):
+        self.started = True
+
+    def handle_message(self, message: Message, network):
+        self.received.append(message)
+        if self.echo:
+            network.send(self.node_id, message.sender, ("echo", message.payload))
+
+    def on_crash(self, network):
+        self.crashed = True
+
+
+def make_network(seed=1, **kwargs):
+    return EventDrivenNetwork(RandomSource(seed), **kwargs)
+
+
+class TestMembership:
+    def test_add_process_assigns_ids_and_starts(self):
+        network = make_network()
+        a, b = Recorder(), Recorder()
+        id_a = network.add_process(a)
+        id_b = network.add_process(b)
+        assert id_a != id_b
+        assert a.started and b.started
+        assert network.size() == 2
+        assert network.node_ids() == sorted([id_a, id_b])
+
+    def test_explicit_id(self):
+        network = make_network()
+        recorder = Recorder()
+        assert network.add_process(recorder, node_id=42) == 42
+        assert network.is_alive(42)
+
+    def test_duplicate_id_rejected(self):
+        network = make_network()
+        network.add_process(Recorder(), node_id=1)
+        with pytest.raises(SimulationError):
+            network.add_process(Recorder(), node_id=1)
+
+    def test_crash_removes_process(self):
+        network = make_network()
+        recorder = Recorder()
+        node = network.add_process(recorder)
+        network.crash_process(node)
+        assert not network.is_alive(node)
+        assert recorder.crashed
+
+    def test_process_lookup_errors_for_dead_node(self):
+        network = make_network()
+        with pytest.raises(SimulationError):
+            network.process(9)
+
+
+class TestMessaging:
+    def test_message_delivered_with_delay(self):
+        network = make_network(delay_model=DelayModel(min_delay=0.1, max_delay=0.2))
+        a, b = Recorder(), Recorder()
+        id_a, id_b = network.add_process(a), network.add_process(b)
+        network.send(id_a, id_b, "hello")
+        network.run_until(0.05)
+        assert b.received == []
+        network.run_until(1.0)
+        assert len(b.received) == 1
+        assert b.received[0].payload == "hello"
+        assert b.received[0].sender == id_a
+
+    def test_request_response_round_trip(self):
+        network = make_network()
+        a, b = Recorder(), Recorder(echo=True)
+        id_a, id_b = network.add_process(a), network.add_process(b)
+        network.send(id_a, id_b, "ping")
+        network.run_until(5.0)
+        assert len(a.received) == 1
+        assert a.received[0].payload == ("echo", "ping")
+
+    def test_message_to_crashed_node_dropped(self):
+        network = make_network()
+        a, b = Recorder(), Recorder()
+        id_a, id_b = network.add_process(a), network.add_process(b)
+        network.send(id_a, id_b, "late")
+        network.crash_process(id_b)
+        network.run_until(5.0)
+        assert b.received == []
+        assert network.dropped_messages == 1
+
+    def test_total_loss_transport_drops_everything(self):
+        network = make_network(transport=TransportModel(message_loss_probability=1.0))
+        a, b = Recorder(), Recorder()
+        id_a, id_b = network.add_process(a), network.add_process(b)
+        for _ in range(5):
+            network.send(id_a, id_b, "x")
+        network.run_until(5.0)
+        assert b.received == []
+        assert network.dropped_messages == 5
+        assert network.sent_messages == 5
+
+    def test_delivery_counters(self):
+        network = make_network()
+        a, b = Recorder(), Recorder()
+        id_a, id_b = network.add_process(a), network.add_process(b)
+        network.send(id_a, id_b, "x")
+        network.run_until(5.0)
+        assert network.delivered_messages == 1
+
+
+class TestTimers:
+    def test_timer_fires_for_live_node(self):
+        network = make_network()
+        recorder = Recorder()
+        node = network.add_process(recorder)
+        fired = []
+        network.set_timer(node, 1.0, lambda: fired.append(network.now))
+        network.run_until(2.0)
+        assert fired == [1.0]
+
+    def test_timer_suppressed_after_crash(self):
+        network = make_network()
+        recorder = Recorder()
+        node = network.add_process(recorder)
+        fired = []
+        network.set_timer(node, 1.0, lambda: fired.append(1))
+        network.crash_process(node)
+        network.run_until(2.0)
+        assert fired == []
+
+    def test_clock_drift_scales_local_delays(self):
+        network = make_network(clock_drift=0.2)
+        node = network.add_process(Recorder())
+        real = network.local_delay(node, 10.0)
+        assert 8.0 <= real <= 12.0
+        assert real != 10.0 or network.local_delay(node, 10.0) == real
+
+    def test_no_drift_by_default(self):
+        network = make_network()
+        node = network.add_process(Recorder())
+        assert network.local_delay(node, 3.0) == 3.0

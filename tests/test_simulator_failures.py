@@ -1,0 +1,129 @@
+"""Tests for the node failure and churn models."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RandomSource
+from repro.core.functions import AverageFunction
+from repro.simulator.cycle_sim import CycleSimulator
+from repro.simulator.failures import (
+    ChurnModel,
+    CompositeFailureModel,
+    CountCrashModel,
+    NoFailures,
+    ProportionalCrashModel,
+    SuddenDeathModel,
+)
+from repro.topology import TopologySpec, build_overlay
+
+
+def make_simulator(size=60, seed=3, failure_model=None):
+    rng = RandomSource(seed)
+    overlay = build_overlay(TopologySpec("random", degree=6), size, rng.child("topology"))
+    return CycleSimulator(
+        overlay=overlay,
+        function=AverageFunction(),
+        initial_values=[float(i) for i in range(size)],
+        rng=rng.child("sim"),
+        failure_model=failure_model,
+    )
+
+
+class TestNoFailures:
+    def test_nothing_happens(self):
+        simulator = make_simulator(failure_model=NoFailures())
+        simulator.run(3)
+        assert len(simulator.participant_ids()) == 60
+        assert simulator.crashed_ids() == []
+
+    def test_describe(self):
+        assert "no failures" in NoFailures().describe()
+
+
+class TestProportionalCrashModel:
+    def test_removes_expected_fraction_each_cycle(self):
+        simulator = make_simulator(size=100, failure_model=ProportionalCrashModel(0.1))
+        simulator.run_cycle()
+        assert len(simulator.participant_ids()) == 90
+        simulator.run_cycle()
+        assert len(simulator.participant_ids()) == 81
+
+    def test_zero_probability_is_noop(self):
+        simulator = make_simulator(failure_model=ProportionalCrashModel(0.0))
+        simulator.run(2)
+        assert len(simulator.participant_ids()) == 60
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProportionalCrashModel(1.2)
+
+    def test_describe_mentions_probability(self):
+        assert "0.2" in ProportionalCrashModel(0.2).describe()
+
+
+class TestSuddenDeathModel:
+    def test_crash_happens_only_at_configured_cycle(self):
+        simulator = make_simulator(size=100, failure_model=SuddenDeathModel(0.5, at_cycle=3))
+        simulator.run(2)
+        assert len(simulator.participant_ids()) == 100
+        simulator.run_cycle()
+        assert len(simulator.participant_ids()) == 50
+        simulator.run_cycle()
+        assert len(simulator.participant_ids()) == 50
+
+    def test_describe(self):
+        assert "cycle 3" in SuddenDeathModel(0.5, at_cycle=3).describe()
+
+
+class TestChurnModel:
+    def test_population_size_constant_but_composition_changes(self):
+        simulator = make_simulator(size=80, failure_model=ChurnModel(5))
+        initial_participants = set(simulator.participant_ids())
+        simulator.run(4)
+        # 20 nodes crashed, 20 joined (not participating yet).
+        assert len(simulator.participant_ids()) == 60
+        assert len(simulator.non_participant_ids()) == 20
+        assert len(simulator.crashed_ids()) == 20
+        total_alive = len(simulator.participant_ids()) + len(simulator.non_participant_ids())
+        assert total_alive == 80
+        assert set(simulator.participant_ids()) < initial_participants
+
+    def test_overlay_tracks_replacements(self):
+        simulator = make_simulator(size=50, failure_model=ChurnModel(4))
+        simulator.run(3)
+        assert simulator.overlay.size() == 50
+
+    def test_zero_churn_is_noop(self):
+        simulator = make_simulator(failure_model=ChurnModel(0))
+        simulator.run(2)
+        assert len(simulator.participant_ids()) == 60
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnModel(-1)
+
+
+class TestCountCrashModel:
+    def test_fixed_number_of_crashes_per_cycle(self):
+        simulator = make_simulator(size=70, failure_model=CountCrashModel(7))
+        simulator.run(3)
+        assert len(simulator.participant_ids()) == 70 - 21
+
+    def test_cannot_crash_more_than_population(self):
+        simulator = make_simulator(size=10, failure_model=CountCrashModel(50))
+        simulator.run_cycle()
+        assert simulator.participant_ids() == []
+
+
+class TestCompositeFailureModel:
+    def test_applies_all_models(self):
+        model = CompositeFailureModel([CountCrashModel(2), CountCrashModel(3)])
+        simulator = make_simulator(size=50, failure_model=model)
+        simulator.run_cycle()
+        assert len(simulator.participant_ids()) == 45
+
+    def test_describe_joins_descriptions(self):
+        model = CompositeFailureModel([NoFailures(), CountCrashModel(3)])
+        description = model.describe()
+        assert "no failures" in description
+        assert "3 crashes" in description

@@ -1,0 +1,204 @@
+"""Tests for the overlay graph generators and the factory."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, TopologyError
+from repro.common.rng import RandomSource
+from repro.topology import (
+    TOPOLOGY_KINDS,
+    CompleteOverlay,
+    TopologySpec,
+    barabasi_albert_topology,
+    build_overlay,
+    complete_topology,
+    compute_graph_statistics,
+    random_k_out_topology,
+    random_regular_topology,
+    ring_lattice_topology,
+    watts_strogatz_topology,
+)
+from repro.newscast import NewscastOverlay
+
+
+class TestRandomKOut:
+    def test_size_and_minimum_degree(self, rng):
+        topology = random_k_out_topology(80, 6, rng)
+        assert topology.size() == 80
+        assert min(topology.degree_sequence()) >= 6
+
+    def test_connected_for_reasonable_degree(self, rng):
+        topology = random_k_out_topology(100, 8, rng)
+        assert topology.is_connected()
+
+    def test_no_self_loops(self, rng):
+        topology = random_k_out_topology(50, 5, rng)
+        for node in topology.node_ids():
+            assert node not in topology.neighbors(node)
+
+    def test_degree_must_be_below_size(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_k_out_topology(5, 5, rng)
+
+    def test_deterministic_given_seed(self):
+        a = random_k_out_topology(40, 4, RandomSource(5))
+        b = random_k_out_topology(40, 4, RandomSource(5))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestRandomRegular:
+    def test_exact_degree(self, rng):
+        topology = random_regular_topology(60, 6, rng)
+        degrees = topology.degree_sequence()
+        assert max(degrees) == 6
+        assert min(degrees) >= 5  # greedy fallback may leave a tiny deficit
+
+    def test_odd_product_rejected(self, rng):
+        with pytest.raises(TopologyError):
+            random_regular_topology(5, 3, rng)
+
+
+class TestRingLattice:
+    def test_regular_degree(self):
+        topology = ring_lattice_topology(30, 6)
+        assert set(topology.degree_sequence()) == {6}
+
+    def test_ring_neighbours_are_nearest(self):
+        topology = ring_lattice_topology(10, 2)
+        assert set(topology.neighbors(0)) == {1, 9}
+
+    def test_odd_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring_lattice_topology(10, 3)
+
+    def test_connected(self):
+        assert ring_lattice_topology(50, 4).is_connected()
+
+
+class TestWattsStrogatz:
+    def test_beta_zero_is_the_lattice(self, rng):
+        lattice = ring_lattice_topology(40, 6)
+        ws = watts_strogatz_topology(40, 6, 0.0, rng)
+        assert sorted(ws.edges()) == sorted(lattice.edges())
+
+    def test_edge_count_preserved_by_rewiring(self, rng):
+        ws = watts_strogatz_topology(60, 6, 0.5, rng)
+        assert ws.edge_count() == 60 * 6 // 2
+
+    def test_high_beta_reduces_clustering(self):
+        ordered = watts_strogatz_topology(120, 8, 0.0, RandomSource(3))
+        rewired = watts_strogatz_topology(120, 8, 1.0, RandomSource(3))
+        stats_ordered = compute_graph_statistics(ordered)
+        stats_rewired = compute_graph_statistics(rewired)
+        assert stats_rewired.clustering < stats_ordered.clustering
+
+    def test_invalid_beta_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz_topology(40, 6, 1.5, rng)
+
+    def test_deterministic_given_seed(self):
+        a = watts_strogatz_topology(40, 4, 0.3, RandomSource(9))
+        b = watts_strogatz_topology(40, 4, 0.3, RandomSource(9))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestBarabasiAlbert:
+    def test_size(self, rng):
+        topology = barabasi_albert_topology(100, 3, rng)
+        assert topology.size() == 100
+
+    def test_minimum_degree_is_attachment(self, rng):
+        topology = barabasi_albert_topology(100, 3, rng)
+        assert min(topology.degree_sequence()) >= 3
+
+    def test_heavy_tail_degree_distribution(self, rng):
+        topology = barabasi_albert_topology(300, 3, rng)
+        degrees = topology.degree_sequence()
+        assert max(degrees) > 4 * (sum(degrees) / len(degrees))
+
+    def test_connected(self, rng):
+        assert barabasi_albert_topology(150, 2, rng).is_connected()
+
+    def test_attachment_must_be_below_size(self, rng):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_topology(3, 3, rng)
+
+
+class TestCompleteOverlay:
+    def test_materialised_graph_has_all_edges(self):
+        topology = complete_topology(6, materialise=True)
+        assert topology.edge_count() == 15
+
+    def test_select_peer_never_returns_self(self, rng):
+        overlay = complete_topology(10)
+        for _ in range(50):
+            assert overlay.select_peer(3, rng) != 3
+
+    def test_single_node_has_no_peer(self, rng):
+        overlay = CompleteOverlay(1)
+        assert overlay.select_peer(0, rng) is None
+
+    def test_remove_and_add_nodes(self, rng):
+        overlay = CompleteOverlay(5)
+        overlay.on_node_removed(2)
+        assert overlay.size() == 4
+        assert not overlay.contains(2)
+        overlay.on_node_added(7, rng)
+        assert overlay.contains(7)
+        assert 2 not in overlay.neighbors(7)
+
+    def test_neighbors_excludes_self(self):
+        overlay = CompleteOverlay(4)
+        assert set(overlay.neighbors(1)) == {0, 2, 3}
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["random", "regular", "ring-lattice", "watts-strogatz", "scale-free"])
+    def test_builds_static_kinds(self, kind, rng):
+        spec = TopologySpec(kind, degree=4, beta=0.2)
+        overlay = build_overlay(spec, 40, rng)
+        assert overlay.size() == 40
+
+    def test_builds_complete(self, rng):
+        overlay = build_overlay(TopologySpec("complete"), 25, rng)
+        assert overlay.size() == 25
+
+    def test_builds_newscast(self, rng):
+        overlay = build_overlay(TopologySpec("newscast", degree=8), 40, rng)
+        assert isinstance(overlay, NewscastOverlay)
+        assert overlay.size() == 40
+
+    def test_unknown_kind_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            build_overlay(TopologySpec("hypercube"), 16, rng)
+
+    def test_all_declared_kinds_buildable(self, rng):
+        for kind in TOPOLOGY_KINDS:
+            spec = TopologySpec(kind, degree=4, beta=0.1)
+            overlay = build_overlay(spec, 30, rng.child(kind))
+            assert overlay.size() == 30
+
+    def test_labels(self):
+        assert "beta" in TopologySpec("watts-strogatz", beta=0.25).label()
+        assert "newscast" in TopologySpec("newscast", degree=20).label()
+        assert TopologySpec("random").label() == "random"
+
+
+class TestGraphStatistics:
+    def test_statistics_of_ring_lattice(self):
+        stats = compute_graph_statistics(ring_lattice_topology(40, 4))
+        assert stats.node_count == 40
+        assert stats.edge_count == 80
+        assert stats.min_degree == stats.max_degree == 4
+        assert stats.connected
+        assert stats.clustering == pytest.approx(0.5, abs=0.01)
+
+    def test_statistics_as_dict(self):
+        stats = compute_graph_statistics(ring_lattice_topology(20, 4))
+        data = stats.as_dict()
+        assert data["node_count"] == 20
+        assert "clustering" in data
+
+    def test_path_length_estimate_positive(self, rng):
+        topology = random_k_out_topology(60, 5, rng)
+        stats = compute_graph_statistics(topology)
+        assert stats.average_path_length_estimate > 1.0

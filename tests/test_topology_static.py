@@ -1,0 +1,128 @@
+"""Tests for the StaticTopology container and the OverlayProvider contract."""
+
+import pytest
+
+from repro.common.errors import TopologyError
+from repro.common.rng import RandomSource
+from repro.topology.base import StaticTopology
+
+
+def triangle() -> StaticTopology:
+    return StaticTopology({0: {1, 2}, 1: {2}, 2: set()}, name="triangle")
+
+
+class TestConstruction:
+    def test_adjacency_is_symmetrised(self):
+        topology = StaticTopology({0: {1}, 1: set(), 2: {1}})
+        assert topology.has_edge(1, 0)
+        assert topology.has_edge(1, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            StaticTopology({0: {0}})
+
+    def test_unknown_neighbour_rejected(self):
+        with pytest.raises(TopologyError):
+            StaticTopology({0: {5}})
+
+    def test_name_is_kept(self):
+        assert triangle().name == "triangle"
+
+
+class TestQueries:
+    def test_node_ids(self):
+        assert sorted(triangle().node_ids()) == [0, 1, 2]
+
+    def test_neighbors(self):
+        assert set(triangle().neighbors(0)) == {1, 2}
+
+    def test_neighbors_unknown_node(self):
+        with pytest.raises(TopologyError):
+            triangle().neighbors(99)
+
+    def test_degree_and_average_degree(self):
+        topology = triangle()
+        assert topology.degree(0) == 2
+        assert topology.average_degree() == pytest.approx(2.0)
+
+    def test_degree_sequence_sorted_by_node(self):
+        assert triangle().degree_sequence() == [2, 2, 2]
+
+    def test_edges_listed_once(self):
+        assert sorted(triangle().edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_edge_count(self):
+        assert triangle().edge_count() == 3
+
+    def test_size_and_contains(self):
+        topology = triangle()
+        assert topology.size() == 3
+        assert topology.contains(1)
+        assert not topology.contains(7)
+
+    def test_adjacency_copy_is_independent(self):
+        topology = triangle()
+        copy = topology.adjacency_copy()
+        copy[0].add(99)
+        assert not topology.has_edge(0, 99)
+
+    def test_to_networkx_roundtrip(self):
+        graph = triangle().to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 3
+
+
+class TestConnectivity:
+    def test_triangle_is_connected(self):
+        assert triangle().is_connected()
+
+    def test_disconnected_graph(self):
+        topology = StaticTopology({0: {1}, 1: set(), 2: {3}, 3: set()})
+        assert not topology.is_connected()
+        components = topology.connected_components()
+        assert len(components) == 2
+        assert {frozenset(c) for c in components} == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_empty_graph_counts_as_connected(self):
+        assert StaticTopology({}).is_connected()
+
+
+class TestMutation:
+    def test_select_peer_returns_neighbour(self, rng):
+        topology = triangle()
+        for _ in range(20):
+            peer = topology.select_peer(0, rng)
+            assert peer in (1, 2)
+
+    def test_select_peer_isolated_node_returns_none(self, rng):
+        topology = StaticTopology({0: set(), 1: set()})
+        assert topology.select_peer(0, rng) is None
+
+    def test_remove_node_removes_incident_edges(self):
+        topology = triangle()
+        topology.on_node_removed(1)
+        assert not topology.contains(1)
+        assert set(topology.neighbors(0)) == {2}
+        assert topology.edge_count() == 1
+
+    def test_remove_unknown_node_is_noop(self):
+        topology = triangle()
+        topology.on_node_removed(42)
+        assert topology.size() == 3
+
+    def test_add_node_attaches_to_existing(self, rng):
+        topology = triangle()
+        topology.on_node_added(3, rng)
+        assert topology.contains(3)
+        assert topology.degree(3) >= 1
+
+    def test_add_duplicate_node_rejected(self, rng):
+        topology = triangle()
+        with pytest.raises(TopologyError):
+            topology.on_node_added(0, rng)
+
+    def test_add_node_to_empty_graph(self, rng):
+        topology = StaticTopology({})
+        topology.on_node_added(0, rng)
+        assert topology.contains(0)
+        assert topology.degree(0) == 0
