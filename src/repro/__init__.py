@@ -46,6 +46,9 @@ from .simulator import (
     ProportionalCrashModel,
     SuddenDeathModel,
     TransportModel,
+    VectorizedCycleSimulator,
+    make_simulator,
+    supports_fast_path,
 )
 from .topology import TopologySpec, build_overlay
 
@@ -74,6 +77,9 @@ __all__ = [
     "EpochConfig",
     "NewscastOverlay",
     "CycleSimulator",
+    "VectorizedCycleSimulator",
+    "make_simulator",
+    "supports_fast_path",
     "EventDrivenNetwork",
     "TransportModel",
     "NoFailures",

@@ -31,6 +31,8 @@ import abc
 import math
 from typing import Any, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..common.errors import ProtocolError
 
 __all__ = [
@@ -90,11 +92,89 @@ class AggregationFunction(abc.ABC):
         """The exact aggregate of ``values`` (for accuracy measurements)."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Array codec: the opt-in protocol for the vectorised fast path.
+    #
+    # A function whose per-node state is a fixed-width vector of floats can
+    # implement these methods and return ``True`` from
+    # :meth:`supports_vectorized`; the vectorised cycle engine then stores
+    # all states in one ``(nodes, state_width)`` float64 array and applies
+    # :meth:`merge_arrays` to whole batches of exchanges at once.  The
+    # array operations must be *bit-identical* to the scalar
+    # :meth:`merge` (same expressions, IEEE-754 float64), which is what
+    # makes the fast path reproduce reference traces from the same seed.
+    # ------------------------------------------------------------------
+    def supports_vectorized(self) -> bool:
+        """Whether this function implements the array codec."""
+        return False
+
+    #: Whether :meth:`merge_arrays` also accepts flat ``(m,)`` state
+    #: vectors (only meaningful for width-1 codecs).  The vectorised
+    #: engine uses this to run on the flat state column, which is
+    #: markedly faster than row-wise fancy indexing.
+    flat_state_codec = False
+
+    def state_width(self) -> int:
+        """Number of float64 slots one node state occupies."""
+        raise NotImplementedError(f"{type(self).__name__} has no array codec")
+
+    def initial_state_array(self, values: np.ndarray) -> np.ndarray:
+        """Encode per-node local values into a ``(n, state_width)`` array."""
+        raise NotImplementedError(f"{type(self).__name__} has no array codec")
+
+    def merge_arrays(
+        self, initiator_states: np.ndarray, responder_states: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`merge` over ``(m, state_width)`` state blocks."""
+        raise NotImplementedError(f"{type(self).__name__} has no array codec")
+
+    def estimate_array(self, states: np.ndarray) -> np.ndarray:
+        """Batched :meth:`estimate`; NaN marks "no estimate yet"."""
+        raise NotImplementedError(f"{type(self).__name__} has no array codec")
+
+    def encode_state(self, state: Any) -> np.ndarray:
+        """Encode one opaque state into a ``(state_width,)`` row."""
+        raise NotImplementedError(f"{type(self).__name__} has no array codec")
+
+    def decode_state(self, row: np.ndarray) -> Any:
+        """Decode a ``(state_width,)`` row back into the opaque state."""
+        raise NotImplementedError(f"{type(self).__name__} has no array codec")
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
 
-class AverageFunction(AggregationFunction):
+class _ScalarArrayCodec:
+    """Array codec shared by functions whose state is one plain float.
+
+    The merge expressions are plain elementwise ufuncs, so they work on
+    flat ``(m,)`` vectors as well as ``(m, 1)`` blocks — advertised via
+    ``flat_state_codec``.
+    """
+
+    flat_state_codec = True
+
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def state_width(self) -> int:
+        return 1
+
+    def initial_state_array(self, values: np.ndarray) -> np.ndarray:
+        array = np.asarray(values, dtype=np.float64).reshape(-1, 1)
+        return array.copy()
+
+    def estimate_array(self, states: np.ndarray) -> np.ndarray:
+        return states[:, 0]
+
+    def encode_state(self, state: float) -> np.ndarray:
+        return np.array([float(state)], dtype=np.float64)
+
+    def decode_state(self, row: np.ndarray) -> float:
+        return float(row[0])
+
+
+class AverageFunction(_ScalarArrayCodec, AggregationFunction):
     """The elementary averaging step: both peers adopt the pair mean."""
 
     name = "average"
@@ -117,8 +197,14 @@ class AverageFunction(AggregationFunction):
             raise ProtocolError("cannot average an empty value set")
         return float(sum(values) / len(values))
 
+    def merge_arrays(
+        self, initiator_states: np.ndarray, responder_states: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        mean = (initiator_states + responder_states) / 2.0
+        return mean, mean
 
-class MinFunction(AggregationFunction):
+
+class MinFunction(_ScalarArrayCodec, AggregationFunction):
     """Epidemic propagation of the minimum value."""
 
     name = "min"
@@ -138,8 +224,14 @@ class MinFunction(AggregationFunction):
             raise ProtocolError("cannot take the minimum of an empty value set")
         return float(min(values))
 
+    def merge_arrays(
+        self, initiator_states: np.ndarray, responder_states: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        smallest = np.minimum(initiator_states, responder_states)
+        return smallest, smallest
 
-class MaxFunction(AggregationFunction):
+
+class MaxFunction(_ScalarArrayCodec, AggregationFunction):
     """Epidemic propagation of the maximum value."""
 
     name = "max"
@@ -159,8 +251,14 @@ class MaxFunction(AggregationFunction):
             raise ProtocolError("cannot take the maximum of an empty value set")
         return float(max(values))
 
+    def merge_arrays(
+        self, initiator_states: np.ndarray, responder_states: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        largest = np.maximum(initiator_states, responder_states)
+        return largest, largest
 
-class GeometricMeanFunction(AggregationFunction):
+
+class GeometricMeanFunction(_ScalarArrayCodec, AggregationFunction):
     """Both peers adopt the geometric mean of their states.
 
     Requires non-negative local values; a zero anywhere drives the global
@@ -199,6 +297,18 @@ class GeometricMeanFunction(AggregationFunction):
                 raise ProtocolError("geometric mean requires non-negative values")
             product *= value
         return float(product ** (1.0 / len(values)))
+
+    def initial_state_array(self, values: np.ndarray) -> np.ndarray:
+        array = np.asarray(values, dtype=np.float64).reshape(-1, 1)
+        if np.any(array < 0):
+            raise ProtocolError("geometric mean requires non-negative values")
+        return array.copy()
+
+    def merge_arrays(
+        self, initiator_states: np.ndarray, responder_states: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        mean = np.sqrt(initiator_states * responder_states)
+        return mean, mean
 
 
 class PushSumFunction(AggregationFunction):
@@ -240,6 +350,42 @@ class PushSumFunction(AggregationFunction):
         if not values:
             raise ProtocolError("cannot average an empty value set")
         return float(sum(values) / len(values))
+
+    # Array codec: column 0 carries the value, column 1 the weight.
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def state_width(self) -> int:
+        return 2
+
+    def initial_state_array(self, values: np.ndarray) -> np.ndarray:
+        flat = np.asarray(values, dtype=np.float64).reshape(-1)
+        states = np.empty((flat.size, 2), dtype=np.float64)
+        states[:, 0] = flat
+        states[:, 1] = 1.0
+        return states
+
+    def merge_arrays(
+        self, initiator_states: np.ndarray, responder_states: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        half = initiator_states / 2.0
+        return half, responder_states + half
+
+    def estimate_array(self, states: np.ndarray) -> np.ndarray:
+        weights = states[:, 1]
+        positive = weights > 0.0
+        return np.divide(
+            states[:, 0],
+            weights,
+            out=np.full(weights.shape, np.nan),
+            where=positive,
+        )
+
+    def encode_state(self, state: Tuple[float, float]) -> np.ndarray:
+        return np.array([float(state[0]), float(state[1])], dtype=np.float64)
+
+    def decode_state(self, row: np.ndarray) -> Tuple[float, float]:
+        return (float(row[0]), float(row[1]))
 
 
 class VectorFunction(AggregationFunction):
@@ -316,6 +462,72 @@ class VectorFunction(AggregationFunction):
                 )
             return tuple(local_value)
         return tuple(local_value for _ in self._functions)
+
+    # ------------------------------------------------------------------
+    # Array codec: component states are laid out side by side in columns.
+    # ------------------------------------------------------------------
+    def supports_vectorized(self) -> bool:
+        return all(function.supports_vectorized() for function in self._functions)
+
+    def state_width(self) -> int:
+        return sum(function.state_width() for function in self._functions)
+
+    def _column_slices(self):
+        slices = []
+        offset = 0
+        for function in self._functions:
+            width = function.state_width()
+            slices.append((function, slice(offset, offset + width)))
+            offset += width
+        return slices
+
+    def initial_state_array(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 1:
+            per_component = [values] * len(self._functions)
+        elif values.ndim == 2 and values.shape[1] == len(self._functions):
+            per_component = [values[:, index] for index in range(values.shape[1])]
+        else:
+            raise ProtocolError(
+                f"expected (n,) or (n, {len(self._functions)}) initial values, "
+                f"got shape {values.shape}"
+            )
+        columns = [
+            function.initial_state_array(column)
+            for (function, _), column in zip(self._column_slices(), per_component)
+        ]
+        return np.concatenate(columns, axis=1)
+
+    def merge_arrays(
+        self, initiator_states: np.ndarray, responder_states: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        new_initiator = np.empty_like(initiator_states)
+        new_responder = np.empty_like(responder_states)
+        for function, columns in self._column_slices():
+            merged_i, merged_r = function.merge_arrays(
+                initiator_states[:, columns], responder_states[:, columns]
+            )
+            new_initiator[:, columns] = merged_i
+            new_responder[:, columns] = merged_r
+        return new_initiator, new_responder
+
+    def estimate_array(self, states: np.ndarray) -> np.ndarray:
+        first, columns = self._column_slices()[0]
+        return first.estimate_array(states[:, columns])
+
+    def encode_state(self, state) -> np.ndarray:
+        return np.concatenate(
+            [
+                function.encode_state(component)
+                for function, component in zip(self._functions, state)
+            ]
+        )
+
+    def decode_state(self, row: np.ndarray) -> Tuple[Any, ...]:
+        return tuple(
+            function.decode_state(row[columns])
+            for function, columns in self._column_slices()
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         inner = ", ".join(type(f).__name__ for f in self._functions)

@@ -10,9 +10,13 @@ paper's experiment.
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
-from ..common.rng import RandomSource
+from ..common.errors import ConfigurationError
+from ..common.rng import RandomSource, derive_seed
 from ..core.functions import AggregationFunction, AverageFunction
 from ..core.count import peak_initial_values
 from ..simulator.cycle_sim import CycleSimulator
@@ -70,24 +74,96 @@ def run_average_once(
     return simulator
 
 
+def _run_one(make_run: Callable[[int, RandomSource], T], seed: int, index: int) -> T:
+    """Execute one repetition with its deterministic child stream.
+
+    ``RandomSource(derive_seed(seed, "run", index))`` is exactly the stream
+    ``RandomSource(seed).child("run", index)`` produces, so a repetition
+    computes identical results whether it runs serially in this process or
+    inside a worker — results are bit-for-bit independent of ``max_workers``.
+    """
+    return make_run(index, RandomSource(derive_seed(seed, "run", index)))
+
+
 def repeat_traces(
     repeats: int,
     seed: int,
     make_run: Callable[[int, RandomSource], SimulationTrace],
+    max_workers: Optional[int] = None,
+    executor: str = "process",
 ) -> List[SimulationTrace]:
-    """Run ``make_run`` ``repeats`` times with independent child seeds."""
-    root = RandomSource(seed)
-    return [make_run(index, root.child("run", index)) for index in range(repeats)]
+    """Run ``make_run`` ``repeats`` times with independent child seeds.
+
+    See :func:`repeat_simulations` for the parallel execution options.
+    """
+    return repeat_simulations(repeats, seed, make_run, max_workers, executor)
 
 
 def repeat_simulations(
     repeats: int,
     seed: int,
     make_run: Callable[[int, RandomSource], T],
+    max_workers: Optional[int] = None,
+    executor: str = "process",
 ) -> List[T]:
-    """Generic repetition helper returning whatever ``make_run`` produces."""
-    root = RandomSource(seed)
-    return [make_run(index, root.child("run", index)) for index in range(repeats)]
+    """Generic repetition helper returning whatever ``make_run`` produces.
+
+    Parameters
+    ----------
+    repeats:
+        Number of independent repetitions.
+    seed:
+        Root seed; repetition ``i`` receives the child stream
+        ``RandomSource(seed).child("run", i)`` regardless of where or in
+        what order it executes, so parallel results are bit-identical to
+        serial ones and the list is always ordered by repetition index.
+    make_run:
+        Callable building and running one repetition.
+    max_workers:
+        ``None``, ``0`` or ``1`` keeps the historical serial behaviour;
+        larger values fan the repetitions out over a worker pool.
+    executor:
+        ``"process"`` (default) uses a :class:`ProcessPoolExecutor`,
+        side-stepping the GIL for the Python-heavy reference engine;
+        callables the worker processes cannot pickle or reconstruct
+        (closures, ``__main__`` definitions under a spawn start method)
+        fall back to threads automatically.  ``"thread"`` forces a
+        thread pool (useful when
+        ``make_run`` captures unpicklable state and the work releases the
+        GIL, e.g. vectorised runs).
+    """
+    if repeats < 0:
+        raise ConfigurationError("repeats must be non-negative")
+    if executor not in ("process", "thread"):
+        raise ConfigurationError(f"unknown executor {executor!r}")
+    if max_workers is None or max_workers <= 1 or repeats <= 1:
+        root = RandomSource(seed)
+        return [make_run(index, root.child("run", index)) for index in range(repeats)]
+    workers = min(max_workers, repeats)
+    if executor == "process":
+        try:
+            pickle.dumps(make_run)
+        except Exception:
+            executor = "thread"
+    if executor == "process":
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_run_one, make_run, seed, index)
+                    for index in range(repeats)
+                ]
+                return [future.result() for future in futures]
+        except (BrokenProcessPool, pickle.PicklingError, AttributeError, ImportError):
+            # The parent could serialise make_run, but the workers could
+            # not reconstruct it (e.g. defined in __main__ under a spawn
+            # start method).  Repetitions are deterministic, so redoing
+            # the sweep on threads is safe.
+            pass
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_run_one, make_run, seed, index) for index in range(repeats)
+        ]
+        return [future.result() for future in futures]
 
 
 def sweep(values: Sequence, runner: Callable[[object], T]) -> Dict[object, T]:

@@ -1,6 +1,19 @@
-"""Simulation substrates: cycle-driven and event-driven engines, failures."""
+"""Simulation substrates: cycle-driven and event-driven engines, failures.
 
-from .cycle_sim import CycleSimulator
+Two cycle engines are provided: the reference
+:class:`~repro.simulator.cycle_sim.CycleSimulator`, which handles any
+opaque-state aggregation function, and the array-native
+:class:`~repro.simulator.vectorized.VectorizedCycleSimulator` fast path
+for functions implementing the array codec.  :func:`make_simulator` picks
+between them automatically.
+"""
+
+from typing import Optional
+
+from ..common.rng import RandomSource
+from ..core.functions import AggregationFunction
+from ..topology.base import OverlayProvider
+from .cycle_sim import CycleSimulator, InitialValues
 from .engine import EventHandle, EventScheduler
 from .event_sim import EventDrivenNetwork, Message, SimulatedProcess
 from .failures import (
@@ -19,15 +32,20 @@ from .metrics import (
     empirical_variance,
     summarize_traces,
 )
+from .sampling import CyclePlan, draw_cycle_plan, ordered_conflict_rounds
 from .transport import (
     PERFECT_TRANSPORT,
     DelayModel,
     ExchangeOutcome,
     TransportModel,
 )
+from .vectorized import VectorizedCycleSimulator
 
 __all__ = [
     "CycleSimulator",
+    "VectorizedCycleSimulator",
+    "make_simulator",
+    "supports_fast_path",
     "EventScheduler",
     "EventHandle",
     "EventDrivenNetwork",
@@ -42,6 +60,9 @@ __all__ = [
     "CompositeFailureModel",
     "CycleRecord",
     "SimulationTrace",
+    "CyclePlan",
+    "draw_cycle_plan",
+    "ordered_conflict_rounds",
     "empirical_mean",
     "empirical_variance",
     "summarize_traces",
@@ -50,3 +71,61 @@ __all__ = [
     "ExchangeOutcome",
     "PERFECT_TRANSPORT",
 ]
+
+
+def supports_fast_path(
+    function: AggregationFunction,
+    overlay: OverlayProvider,
+    transport: Optional[TransportModel] = None,
+    failure_model: Optional[FailureModel] = None,
+) -> bool:
+    """Whether the vectorised engine can run this configuration.
+
+    The fast path needs an aggregation function with the array codec and
+    an overlay with batched peer selection (static topologies and the
+    complete overlay; NEWSCAST maintains per-node caches and stays on the
+    reference engine).  Every transport and failure model is supported —
+    transports classify outcomes in batch and failure models drive the
+    engines through the identical public membership API — so the two extra
+    parameters exist only so future models can veto the fast path without
+    changing call sites.
+    """
+    del transport, failure_model
+    return function.supports_vectorized() and hasattr(overlay, "select_peers_batch")
+
+
+def make_simulator(
+    overlay: OverlayProvider,
+    function: AggregationFunction,
+    initial_values: InitialValues,
+    rng: RandomSource,
+    transport: TransportModel = PERFECT_TRANSPORT,
+    failure_model: Optional[FailureModel] = None,
+    record_every: int = 1,
+    engine: str = "auto",
+):
+    """Build the fastest cycle engine that supports the configuration.
+
+    Parameters match :class:`CycleSimulator`; ``engine`` may be ``"auto"``
+    (default: vectorised when :func:`supports_fast_path` allows, reference
+    otherwise), ``"vectorized"`` or ``"reference"``.  Both engines consume
+    randomness through the same batched cycle-plan discipline, so the
+    choice changes speed, not results: a given root seed produces the same
+    exchange schedule either way.
+    """
+    if engine not in ("auto", "vectorized", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
+    use_fast = engine == "vectorized" or (
+        engine == "auto"
+        and supports_fast_path(function, overlay, transport, failure_model)
+    )
+    simulator_class = VectorizedCycleSimulator if use_fast else CycleSimulator
+    return simulator_class(
+        overlay=overlay,
+        function=function,
+        initial_values=initial_values,
+        rng=rng,
+        transport=transport,
+        failure_model=failure_model,
+        record_every=record_every,
+    )

@@ -17,6 +17,13 @@ stores one opaque state per node and delegates the UPDATE step to an
 :class:`~repro.core.functions.AggregationFunction`, which is how AVERAGE,
 COUNT, multi-instance vectors and the push-sum baseline all run on the
 same engine.
+
+Each cycle's randomness (shuffle order, peer choices, transport
+outcomes) is drawn up front in batched form through
+:func:`~repro.simulator.sampling.draw_cycle_plan` — the same discipline
+the vectorised fast path uses — so the two engines produce identical
+exchange schedules from the same root seed, and even the reference
+per-exchange loop spends no time in scalar generator calls.
 """
 
 from __future__ import annotations
@@ -24,20 +31,92 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
+import numpy as np
+
 from ..common.errors import ConfigurationError, SimulationError
 from ..common.rng import RandomSource
 from ..core.functions import AggregationFunction
 from ..topology.base import OverlayProvider
 from .failures import FailureModel, NoFailures
 from .metrics import CycleRecord, SimulationTrace, empirical_mean, empirical_variance
-from .transport import PERFECT_TRANSPORT, ExchangeOutcome, TransportModel
+from .sampling import draw_cycle_plan
+from .transport import (
+    OUTCOME_DROPPED,
+    OUTCOME_RESPONSE_LOST,
+    PERFECT_TRANSPORT,
+    TransportModel,
+)
 
-__all__ = ["CycleSimulator"]
+__all__ = ["CycleSimulator", "RecordingScheduleMixin"]
 
 InitialValues = Union[Sequence[Any], Mapping[int, Any]]
 
 
-class CycleSimulator:
+class RecordingScheduleMixin:
+    """``record_every`` cadence bookkeeping shared by both cycle engines.
+
+    Hosts the pending exchange counters, the sampled-recording decision,
+    and the run loop; the concrete engine provides ``run_cycle`` and a
+    ``_flush_record`` that computes its metrics and calls
+    :meth:`_emit_record`.
+    """
+
+    _trace: SimulationTrace
+    _cycle_index: int
+
+    def _init_recording(self, record_every: int) -> None:
+        if record_every < 1:
+            raise ConfigurationError("record_every must be at least 1")
+        self._record_every = int(record_every)
+        self._pending_completed = 0
+        self._pending_failed = 0
+
+    def _maybe_record(self, completed: int, failed: int) -> Optional[CycleRecord]:
+        self._pending_completed += completed
+        self._pending_failed += failed
+        if self._cycle_index % self._record_every == 0:
+            return self._flush_record()
+        return None
+
+    def _emit_record(
+        self,
+        participant_count: int,
+        mean: float,
+        variance: float,
+        minimum: float,
+        maximum: float,
+    ) -> CycleRecord:
+        record = CycleRecord(
+            cycle=self._cycle_index,
+            participant_count=participant_count,
+            mean=mean,
+            variance=variance,
+            minimum=minimum,
+            maximum=maximum,
+            completed_exchanges=self._pending_completed,
+            failed_exchanges=self._pending_failed,
+        )
+        self._pending_completed = 0
+        self._pending_failed = 0
+        self._trace.add(record)
+        return record
+
+    def run(self, cycles: int) -> SimulationTrace:
+        """Run ``cycles`` consecutive cycles and return the trace.
+
+        With ``record_every > 1`` the final executed cycle is always
+        recorded, so ``trace.final`` reflects the end of the run.
+        """
+        if cycles < 0:
+            raise ConfigurationError("cycles must be non-negative")
+        for _ in range(cycles):
+            self.run_cycle()
+        if self._trace.final.cycle != self._cycle_index:
+            self._flush_record()
+        return self._trace
+
+
+class CycleSimulator(RecordingScheduleMixin):
     """Run the push–pull aggregation protocol over an overlay, cycle by cycle.
 
     Parameters
@@ -59,6 +138,12 @@ class CycleSimulator:
         Communication failure model (default: perfect communication).
     failure_model:
         Node failure/churn model (default: no failures).
+    record_every:
+        Collect the per-cycle metrics (an O(N) pass over the estimates)
+        only every this-many cycles.  The cycle-0 snapshot is always
+        recorded, exchange counters accumulate across skipped cycles into
+        the next record, and :meth:`run` records the final cycle even when
+        it falls between sampling points.
     Notes
     -----
     Asymmetric (push-only) schemes such as
@@ -75,7 +160,9 @@ class CycleSimulator:
         rng: RandomSource,
         transport: TransportModel = PERFECT_TRANSPORT,
         failure_model: Optional[FailureModel] = None,
+        record_every: int = 1,
     ) -> None:
+        self._init_recording(record_every)
         self._overlay = overlay
         self._function = function
         self._transport = transport
@@ -100,7 +187,7 @@ class CycleSimulator:
         self._cycle_index = 0
         self._trace = SimulationTrace()
         self.last_cycle_contact_counts: Dict[int, int] = {}
-        self._record_cycle(completed=0, failed=0)
+        self._flush_record()
 
     # ------------------------------------------------------------------
     # Public accessors
@@ -126,16 +213,20 @@ class CycleSimulator:
         return self._cycle_index
 
     def participant_ids(self) -> List[int]:
-        """Identifiers of the nodes participating in the current epoch."""
-        return list(self._participants)
+        """Identifiers of the nodes participating in the current epoch.
+
+        Sorted, so that failure models sampling victims from this list draw
+        identically in the reference and vectorised engines.
+        """
+        return sorted(self._participants)
 
     def non_participant_ids(self) -> List[int]:
         """Identifiers of joined nodes waiting for the next epoch."""
-        return list(self._non_participants)
+        return sorted(self._non_participants)
 
     def crashed_ids(self) -> List[int]:
         """Identifiers of nodes that crashed during this run."""
-        return list(self._crashed)
+        return sorted(self._crashed)
 
     def state_of(self, node_id: int) -> Any:
         """The protocol state currently held by ``node_id``."""
@@ -153,12 +244,20 @@ class CycleSimulator:
         return {node: self._function.estimate(state) for node, state in self._states.items()}
 
     def finite_estimates(self) -> List[float]:
-        """All current estimates that are actual finite numbers."""
-        return [
-            value
-            for value in self.estimates().values()
-            if value is not None and math.isfinite(value)
-        ]
+        """All current estimates that are actual finite numbers.
+
+        Iterates the states directly instead of materialising the full
+        ``estimates()`` dict; this runs once per recorded cycle, so it is
+        on the measurement hot path.
+        """
+        estimate = self._function.estimate
+        isfinite = math.isfinite
+        result = []
+        for state in self._states.values():
+            value = estimate(state)
+            if value is not None and isfinite(value):
+                result.append(value)
+        return result
 
     # ------------------------------------------------------------------
     # Membership operations (used by failure models and by callers)
@@ -187,6 +286,9 @@ class CycleSimulator:
         if participating:
             self._states[node_id] = self._function.initial_state(value)
             self._participants.add(node_id)
+            # Pre-seed the contact-count ledger so a node added mid-cycle
+            # (by a reentrant caller) can be counted without a .get fallback.
+            self.last_cycle_contact_counts.setdefault(node_id, 0)
         else:
             self._non_participants.add(node_id)
         return node_id
@@ -228,66 +330,71 @@ class CycleSimulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_cycle(self) -> CycleRecord:
-        """Execute one full cycle and return its measurement record."""
+    def run_cycle(self) -> Optional[CycleRecord]:
+        """Execute one full cycle and return its measurement record.
+
+        Returns ``None`` on cycles skipped by ``record_every``.
+        """
         self._cycle_index += 1
         self._failure_model.apply(self, self._cycle_index, self._failure_rng)
 
         completed = 0
         failed = 0
         contact_counts: Dict[int, int] = {node: 0 for node in self._participants}
+        self.last_cycle_contact_counts = contact_counts
 
-        order = list(self._participants)
-        self._selection_rng.shuffle_in_place(order)
-        for initiator in order:
+        participants = np.fromiter(
+            sorted(self._participants), dtype=np.int64, count=len(self._participants)
+        )
+        plan = draw_cycle_plan(
+            self._overlay,
+            participants,
+            self._selection_rng,
+            self._transport,
+            self._transport_rng,
+        )
+        states = self._states
+        merge = self._function.merge
+        # Python-int lists: the loop below does dict and set lookups per
+        # exchange, which are several times slower on numpy scalars.
+        plan_initiators = plan.initiators.tolist()
+        plan_peers = plan.peers.tolist()
+        plan_outcomes = plan.outcomes.tolist()
+        for position, initiator in enumerate(plan_initiators):
             if initiator not in self._participants:
-                # The node crashed earlier in this very cycle (composite
-                # failure models may remove nodes mid-list).
+                # The node crashed earlier in this very cycle (reentrant
+                # callers may remove nodes mid-list).
                 continue
-            peer = self._overlay.select_peer(initiator, self._selection_rng)
-            if peer is None:
+            peer = plan_peers[position]
+            if peer < 0 or peer not in self._participants:
+                # No usable neighbour, a crashed peer (timeout), or a
+                # freshly joined node refusing exchanges this epoch.
                 failed += 1
                 continue
-            if peer not in self._participants:
-                # Crashed peer (timeout) or a freshly joined node refusing
-                # exchanges for the current epoch.
+            outcome = plan_outcomes[position]
+            if outcome == OUTCOME_DROPPED:
                 failed += 1
                 continue
-            outcome = self._transport.classify_exchange(self._transport_rng)
-            if outcome is ExchangeOutcome.DROPPED:
-                failed += 1
-                continue
-            new_initiator, new_responder = self._function.merge(
-                self._states[initiator], self._states[peer]
-            )
-            if outcome is ExchangeOutcome.RESPONSE_LOST:
+            new_initiator, new_responder = merge(states[initiator], states[peer])
+            if outcome == OUTCOME_RESPONSE_LOST:
                 # The responder already updated; the initiator never saw
                 # the reply and keeps its old state.
-                self._states[peer] = new_responder
+                states[peer] = new_responder
                 failed += 1
             else:
-                self._states[initiator] = new_initiator
-                self._states[peer] = new_responder
+                states[initiator] = new_initiator
+                states[peer] = new_responder
                 completed += 1
-            contact_counts[initiator] = contact_counts.get(initiator, 0) + 1
-            contact_counts[peer] = contact_counts.get(peer, 0) + 1
+            contact_counts[initiator] += 1
+            contact_counts[peer] += 1
 
         self._overlay.after_cycle(self._overlay_rng)
-        self.last_cycle_contact_counts = contact_counts
-        return self._record_cycle(completed=completed, failed=failed)
-
-    def run(self, cycles: int) -> SimulationTrace:
-        """Run ``cycles`` consecutive cycles and return the trace."""
-        if cycles < 0:
-            raise ConfigurationError("cycles must be non-negative")
-        for _ in range(cycles):
-            self.run_cycle()
-        return self._trace
+        return self._maybe_record(completed, failed)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _record_cycle(self, completed: int, failed: int) -> CycleRecord:
+    def _flush_record(self) -> CycleRecord:
         estimates = self.finite_estimates()
         if estimates:
             mean = empirical_mean(estimates)
@@ -299,18 +406,13 @@ class CycleSimulator:
             variance = 0.0
             minimum = math.nan
             maximum = math.nan
-        record = CycleRecord(
-            cycle=self._cycle_index,
+        return self._emit_record(
             participant_count=len(self._participants),
             mean=mean,
             variance=variance,
             minimum=minimum,
             maximum=maximum,
-            completed_exchanges=completed,
-            failed_exchanges=failed,
         )
-        self._trace.add(record)
-        return record
 
     @staticmethod
     def _normalise_initial_values(

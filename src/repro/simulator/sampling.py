@@ -1,0 +1,207 @@
+"""Batched per-cycle randomness shared by both cycle engines.
+
+A cycle of the push–pull protocol consumes three kinds of randomness: the
+order in which participants initiate, the peer each initiator gossips
+with, and the transport fate of every exchange.  This module draws all
+three as *batched* generator calls and packages them in a
+:class:`CyclePlan`.
+
+Both the reference :class:`~repro.simulator.cycle_sim.CycleSimulator` and
+the fast-path :class:`~repro.simulator.vectorized.VectorizedCycleSimulator`
+consume their randomness exclusively through :func:`draw_cycle_plan`, so
+the two engines see bit-identical exchange schedules from the same root
+seed — which is what makes the fast path an exact drop-in, not merely a
+statistically equivalent one.
+
+The module also provides :func:`ordered_conflict_rounds`, the scheduling
+core of the vectorised engine: it partitions a cycle's in-order exchange
+list into conflict-free batches that can each be applied with one gather /
+merge / scatter pass while preserving the sequential read-after-write
+semantics of the reference engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..common.rng import RandomSource
+from ..topology.base import OverlayProvider
+from .transport import TransportModel
+
+__all__ = ["CyclePlan", "draw_cycle_plan", "ordered_conflict_rounds"]
+
+#: Grow-only rank templates shared by every peel call.  All three
+#: templates are prefix-sliceable (the length-k prefix of a larger
+#: template equals the template built for k), so one buffer of the
+#: largest size seen serves every smaller request as a view — the cache
+#: never thrashes even though lossy transports make the effective
+#: exchange count vary cycle to cycle.  The arrays are read-only after
+#: publication, so sharing them across engines and threads is safe.
+_PEEL_TEMPLATES: List = [0, None]
+
+
+def _peel_templates(total: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    size, arrays = _PEEL_TEMPLATES
+    if arrays is None or size < total:
+        ascending = np.arange(total, dtype=np.int64)
+        arrays = (ascending, ascending + ascending, np.repeat(ascending, 2))
+        _PEEL_TEMPLATES[0] = total
+        _PEEL_TEMPLATES[1] = arrays
+        return arrays
+    ascending, doubled, ascending_pairs = arrays
+    return ascending[:total], doubled[:total], ascending_pairs[: 2 * total]
+
+
+@dataclass(frozen=True)
+class CyclePlan:
+    """All random decisions of one cycle, drawn up front.
+
+    Attributes
+    ----------
+    initiators:
+        Participant identifiers in the shuffled initiation order.
+    peers:
+        The peer drawn for each initiator (aligned with ``initiators``);
+        ``-1`` means the overlay had no usable neighbour.
+    outcomes:
+        Transport fate codes (``OUTCOME_*`` from
+        :mod:`repro.simulator.transport`) for each slot.
+    """
+
+    initiators: np.ndarray
+    peers: np.ndarray
+    outcomes: np.ndarray
+
+
+def draw_cycle_plan(
+    overlay: OverlayProvider,
+    participants: np.ndarray,
+    selection_rng: RandomSource,
+    transport: TransportModel,
+    transport_rng: RandomSource,
+) -> CyclePlan:
+    """Draw one cycle's complete randomness from the engine's streams.
+
+    Parameters
+    ----------
+    overlay:
+        The overlay providing peer selection.  Overlays exposing
+        ``select_peers_batch`` (static topologies, the complete overlay)
+        are sampled with one vectorised call; others (NEWSCAST) fall back
+        to per-node scalar ``select_peer`` draws from the same stream.
+    participants:
+        Sorted array of currently participating node identifiers.
+    selection_rng:
+        Stream for the shuffle and the peer choices.
+    transport:
+        The communication failure model.
+    transport_rng:
+        Stream for the transport outcome draws.
+    """
+    participants = np.asarray(participants, dtype=np.int64)
+    count = participants.size
+    permutation = selection_rng.generator.permutation(count)
+    initiators = participants[permutation]
+    batch_select = getattr(overlay, "select_peers_batch", None)
+    if batch_select is not None:
+        peers = batch_select(initiators, selection_rng.generator)
+    else:
+        peers = np.fromiter(
+            (
+                -1 if peer is None else peer
+                for peer in (
+                    overlay.select_peer(int(initiator), selection_rng)
+                    for initiator in initiators
+                )
+            ),
+            dtype=np.int64,
+            count=count,
+        )
+    outcomes = transport.classify_exchanges(transport_rng, count)
+    return CyclePlan(initiators=initiators, peers=peers, outcomes=outcomes)
+
+
+def ordered_conflict_rounds(
+    initiators: np.ndarray,
+    peers: np.ndarray,
+    scratch: np.ndarray,
+    track_positions: bool = True,
+) -> List[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]]:
+    """Partition in-order exchanges into conflict-free, order-preserving rounds.
+
+    Exchange ``j`` may read state written by an earlier exchange ``i < j``
+    that shares a node with it, so the list cannot simply be applied in
+    parallel.  This function repeatedly peels off the exchanges that are
+    the *latest remaining* toucher of both their nodes (they form the
+    final round, then the one before it, and so on).  Everything scheduled
+    together is node-disjoint (safe for one vectorised gather/scatter),
+    and any two exchanges sharing a node land in rounds that respect their
+    original order.  Node-disjoint exchanges commute, so applying the
+    rounds in sequence reproduces the sequential result exactly.
+
+    Parameters
+    ----------
+    initiators, peers:
+        Aligned int64 arrays of the effective (state-touching) exchanges,
+        in initiation order.
+    scratch:
+        Reusable int64 buffer with at least ``max(node id) + 1`` entries;
+        its contents are overwritten.
+    track_positions:
+        Whether to also return each round's indices into the input arrays
+        (needed when per-exchange outcome flags must be consulted); skip
+        it when every exchange is applied identically.
+
+    Returns
+    -------
+    A list of ``(initiators, peers, positions)`` triples, one per round;
+    ``positions`` is ``None`` when ``track_positions`` is false.  Every
+    exchange appears in exactly one round.
+    """
+    total = int(initiators.size)
+    if total == 0:
+        return []
+    # The peel runs back to front: a remaining exchange joins the *last*
+    # round as soon as no later remaining exchange touches either of its
+    # nodes, i.e. both its endpoints' last-occurrence ranks equal its own
+    # rank.  Last occurrences come from plain forward "last assignment
+    # wins" fancy indexing — no reversed views on the hot path — and the
+    # collected rounds are reversed once at the end.  Rank templates are
+    # shared by every round (the pair-expanded prefix [0, 0, 1, 1, ...]
+    # matches any round size) and cached across calls; one interleave
+    # buffer per call serves every round, so the peel's steady state does
+    # almost no allocation.
+    ascending, doubled, ascending_pairs = _peel_templates(total)
+    node_buffer = np.empty(2 * total, dtype=np.int64)
+    reversed_rounds: List[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]] = []
+    a = initiators
+    b = peers
+    positions: Optional[np.ndarray] = ascending if track_positions else None
+    while True:
+        count = a.size
+        # Only touched entries of the scratch buffer are ever read back.
+        nodes = node_buffer[: 2 * count]
+        nodes[0::2] = a
+        nodes[1::2] = b
+        scratch[nodes] = ascending_pairs[: 2 * count]
+        # Both last-occurrence ranks are >= the exchange's own rank, so
+        # testing the sum replaces two equality tests with one.  Index
+        # lists + fancy gathers beat boolean masking several-fold here.
+        schedulable = (scratch[a] + scratch[b]) == doubled[:count]
+        chosen = np.flatnonzero(schedulable)
+        batch_a = a[chosen]
+        batch_b = b[chosen]
+        reversed_rounds.append(
+            (batch_a, batch_b, positions[chosen] if track_positions else None)
+        )
+        if chosen.size == count:
+            reversed_rounds.reverse()
+            return reversed_rounds
+        keep = np.flatnonzero(~schedulable)
+        a = a[keep]
+        b = b[keep]
+        if track_positions:
+            positions = positions[keep]

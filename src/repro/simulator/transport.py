@@ -22,10 +22,20 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..common.rng import RandomSource
 from ..common.validation import require_non_negative, require_probability
 
-__all__ = ["ExchangeOutcome", "TransportModel", "PERFECT_TRANSPORT", "DelayModel"]
+__all__ = [
+    "ExchangeOutcome",
+    "OUTCOME_COMPLETED",
+    "OUTCOME_DROPPED",
+    "OUTCOME_RESPONSE_LOST",
+    "TransportModel",
+    "PERFECT_TRANSPORT",
+    "DelayModel",
+]
 
 
 class ExchangeOutcome(enum.Enum):
@@ -38,6 +48,13 @@ class ExchangeOutcome(enum.Enum):
     #: The request arrived (responder updates) but the response was lost
     #: (initiator keeps its old state) — the sum-violating case.
     RESPONSE_LOST = "response-lost"
+
+
+#: Integer codes used by the batched outcome arrays of
+#: :meth:`TransportModel.classify_exchanges`.
+OUTCOME_COMPLETED = 0
+OUTCOME_DROPPED = 1
+OUTCOME_RESPONSE_LOST = 2
 
 
 @dataclass(frozen=True)
@@ -80,6 +97,32 @@ class TransportModel:
                 # The response never reached the initiator.
                 return ExchangeOutcome.RESPONSE_LOST
         return ExchangeOutcome.COMPLETED
+
+    def classify_exchanges(self, rng: RandomSource, count: int) -> np.ndarray:
+        """Draw the fates of a whole cycle's exchanges in batched form.
+
+        Returns a ``(count,)`` uint8 array of ``OUTCOME_*`` codes.  Unlike
+        :meth:`classify_exchange`, the per-stage Bernoulli variables are
+        drawn for *every* exchange regardless of earlier stages, so the
+        number of generator draws is data-independent — the property the
+        shared cycle-plan discipline relies on to keep the reference and
+        vectorised engines on identical random streams.
+        """
+        outcomes = np.zeros(count, dtype=np.uint8)
+        if count == 0:
+            return outcomes
+        generator = rng.generator
+        if self.link_failure_probability > 0.0:
+            outcomes[generator.random(count) < self.link_failure_probability] = (
+                OUTCOME_DROPPED
+            )
+        if self.message_loss_probability > 0.0:
+            request_lost = generator.random(count) < self.message_loss_probability
+            response_lost = generator.random(count) < self.message_loss_probability
+            alive = outcomes == OUTCOME_COMPLETED
+            outcomes[alive & request_lost] = OUTCOME_DROPPED
+            outcomes[alive & ~request_lost & response_lost] = OUTCOME_RESPONSE_LOST
+        return outcomes
 
 
 #: A transport with no failures at all, shared as a convenient default.

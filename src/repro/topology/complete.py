@@ -9,7 +9,9 @@ interface with O(N) state.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..common.errors import TopologyError
 from ..common.rng import RandomSource
@@ -33,12 +35,25 @@ class CompleteOverlay(OverlayProvider):
         self._nodes: Set[int] = set(range(size))
         self._node_list: List[int] = list(range(size))
         self._dirty = False
+        self._arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self.name = "complete"
 
     def _refresh(self) -> None:
         if self._dirty:
             self._node_list = sorted(self._nodes)
             self._dirty = False
+            self._arrays = None
+
+    def _node_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The sorted node-id array and its id → position lookup table."""
+        self._refresh()
+        if self._arrays is None:
+            ids = np.asarray(self._node_list, dtype=np.int64)
+            capacity = int(ids.max()) + 1 if ids.size else 0
+            position_of = np.full(capacity, -1, dtype=np.int64)
+            position_of[ids] = np.arange(ids.size, dtype=np.int64)
+            self._arrays = (ids, position_of)
+        return self._arrays
 
     # OverlayProvider ----------------------------------------------------
     def node_ids(self) -> List[int]:
@@ -60,6 +75,23 @@ class CompleteOverlay(OverlayProvider):
             peer = self._node_list[rng.choice_index(len(self._node_list))]
             if peer != node_id:
                 return peer
+
+    def select_peers_batch(
+        self, node_ids: np.ndarray, generator: np.random.Generator
+    ) -> np.ndarray:
+        """Draw one uniform other-node for every node in ``node_ids`` at once.
+
+        Uses the classic skip-self trick: draw a position in ``[0, n-1)``
+        and shift it past the caller's own position, which is exactly a
+        uniform draw over the ``n - 1`` other nodes — no rejection loop.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if len(self._nodes) <= 1 or node_ids.size == 0:
+            return np.full(node_ids.size, -1, dtype=np.int64)
+        ids, position_of = self._node_arrays()
+        positions = position_of[node_ids]
+        draws = generator.integers(0, ids.size - 1, size=node_ids.size)
+        return ids[draws + (draws >= positions)]
 
     def on_node_removed(self, node_id: int) -> None:
         self._nodes.discard(node_id)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import ConfigurationError
 from repro.common.rng import RandomSource
 from repro.experiments.runner import (
     peak_values_for_count,
@@ -14,6 +15,17 @@ from repro.experiments.runner import (
 from repro.simulator.failures import CountCrashModel
 from repro.simulator.transport import TransportModel
 from repro.topology import TopologySpec
+
+
+def _trace_run(index, rng):
+    """Module-level run callable so the process pool can pickle it."""
+    values = uniform_initial_values(30, rng)
+    return run_average_once(TopologySpec("random", degree=4), 30, values, 3, rng).trace
+
+
+def _draw_run(index, rng):
+    """Module-level draw callable so the process pool can pickle it."""
+    return (index, rng.random())
 
 
 class TestValueGenerators:
@@ -83,3 +95,53 @@ class TestRepetitionHelpers:
         result = sweep([3, 1, 2], lambda value: value * 10)
         assert list(result.keys()) == [3, 1, 2]
         assert result[2] == 20
+
+
+class TestParallelRepetition:
+    def test_process_pool_matches_serial_bit_for_bit(self):
+        serial = repeat_simulations(4, 7, _draw_run)
+        parallel = repeat_simulations(4, 7, _draw_run, max_workers=4)
+        assert parallel == serial
+        assert [index for index, _ in parallel] == [0, 1, 2, 3]
+
+    def test_thread_pool_matches_serial_bit_for_bit(self):
+        def make_run(index, rng):
+            return rng.random()
+
+        serial = repeat_simulations(6, 21, make_run)
+        threaded = repeat_simulations(
+            6, 21, make_run, max_workers=3, executor="thread"
+        )
+        assert threaded == serial
+
+    def test_parallel_traces_match_serial(self):
+        serial = repeat_traces(3, 9, _trace_run)
+        parallel = repeat_traces(3, 9, _trace_run, max_workers=3)
+        for trace_a, trace_b in zip(serial, parallel):
+            assert trace_a.records == trace_b.records
+
+    def test_unpicklable_closure_falls_back_to_threads(self):
+        marker = object()  # closures over arbitrary objects cannot pickle
+
+        def make_run(index, rng, _marker=marker):
+            return rng.random()
+
+        serial = repeat_simulations(4, 13, make_run)
+        parallel = repeat_simulations(4, 13, make_run, max_workers=2)
+        assert parallel == serial
+
+    def test_single_worker_stays_serial(self):
+        calls = []
+
+        def make_run(index, rng):
+            calls.append(index)
+            return index
+
+        assert repeat_simulations(3, 1, make_run, max_workers=1) == [0, 1, 2]
+        assert calls == [0, 1, 2]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            repeat_simulations(-1, 1, _draw_run)
+        with pytest.raises(ConfigurationError):
+            repeat_simulations(2, 1, _draw_run, max_workers=2, executor="fiber")

@@ -1,0 +1,394 @@
+"""Fast-path / reference engine equivalence and vectorized-engine tests.
+
+Both cycle engines consume their randomness through the shared cycle-plan
+discipline, so a given root seed must produce the *same* exchange schedule
+— and therefore (up to floating-point summation order) the same per-cycle
+trace — in either engine.  These tests sweep every supported function ×
+overlay × failure combination, plus property-based mass conservation,
+``make_simulator`` dispatch, ``record_every`` and the conflict-round
+scheduler itself.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RandomSource
+from repro.core.count import CountMapFunction, peak_initial_values
+from repro.core.functions import (
+    AverageFunction,
+    GeometricMeanFunction,
+    MaxFunction,
+    MinFunction,
+    PushSumFunction,
+    VectorFunction,
+)
+from repro.simulator import (
+    ChurnModel,
+    CycleSimulator,
+    ProportionalCrashModel,
+    SuddenDeathModel,
+    TransportModel,
+    VectorizedCycleSimulator,
+    make_simulator,
+    supports_fast_path,
+)
+from repro.simulator.sampling import ordered_conflict_rounds
+from repro.topology import TopologySpec, build_overlay
+
+
+SIZE = 60
+CYCLES = 8
+
+OVERLAYS = {
+    "complete": TopologySpec("complete"),
+    "random": TopologySpec("random", degree=6),
+    "watts-strogatz": TopologySpec("watts-strogatz", degree=6, beta=0.25),
+}
+
+SCENARIOS = {
+    "perfect": (TransportModel(), None),
+    "message-loss": (TransportModel(message_loss_probability=0.2), None),
+    "link-failure": (TransportModel(link_failure_probability=0.3), None),
+    "crashes": (TransportModel(), lambda: ProportionalCrashModel(0.05)),
+    "churn": (TransportModel(), lambda: ChurnModel(2)),
+    "sudden-death": (TransportModel(), lambda: SuddenDeathModel(0.5, at_cycle=3)),
+}
+
+FUNCTIONS = {
+    "average": (AverageFunction, lambda size: [float(i) for i in range(size)]),
+    "count-peak": (AverageFunction, lambda size: peak_initial_values(size)),
+    "push-sum": (PushSumFunction, lambda size: [float(i) for i in range(size)]),
+    "min": (MinFunction, lambda size: [float(i % 7) for i in range(size)]),
+    "max": (MaxFunction, lambda size: [float(i % 7) for i in range(size)]),
+}
+
+
+def build_engine(engine, function_key, overlay_key, scenario_key, seed=11):
+    function_class, values_for = FUNCTIONS[function_key]
+    transport, failure_factory = SCENARIOS[scenario_key]
+    rng = RandomSource(seed)
+    overlay = build_overlay(OVERLAYS[overlay_key], SIZE, rng.child("topology"))
+    return make_simulator(
+        overlay=overlay,
+        function=function_class(),
+        initial_values=values_for(SIZE),
+        rng=rng.child("simulation"),
+        transport=transport,
+        failure_model=failure_factory() if failure_factory else None,
+        engine=engine,
+    )
+
+
+def assert_traces_match(reference, vectorized, label):
+    assert len(reference.trace) == len(vectorized.trace), label
+    for expected, actual in zip(reference.trace, vectorized.trace):
+        assert expected.cycle == actual.cycle, label
+        assert expected.participant_count == actual.participant_count, label
+        assert expected.completed_exchanges == actual.completed_exchanges, label
+        assert expected.failed_exchanges == actual.failed_exchanges, label
+        for field in ("mean", "variance", "minimum", "maximum"):
+            expected_value = getattr(expected, field)
+            actual_value = getattr(actual, field)
+            if math.isnan(expected_value) and math.isnan(actual_value):
+                continue
+            assert actual_value == pytest.approx(
+                expected_value, rel=1e-9, abs=1e-12
+            ), f"{label}: {field} diverged at cycle {expected.cycle}"
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("overlay_key", sorted(OVERLAYS))
+    @pytest.mark.parametrize("scenario_key", sorted(SCENARIOS))
+    @pytest.mark.parametrize("function_key", ["average", "count-peak", "push-sum"])
+    def test_same_seed_same_trace(self, function_key, overlay_key, scenario_key):
+        label = f"{function_key}/{overlay_key}/{scenario_key}"
+        reference = build_engine("reference", function_key, overlay_key, scenario_key)
+        vectorized = build_engine("vectorized", function_key, overlay_key, scenario_key)
+        assert isinstance(reference, CycleSimulator)
+        assert isinstance(vectorized, VectorizedCycleSimulator)
+        reference.run(CYCLES)
+        vectorized.run(CYCLES)
+        assert_traces_match(reference, vectorized, label)
+
+    @pytest.mark.parametrize("function_key", sorted(FUNCTIONS))
+    def test_states_bitwise_identical(self, function_key):
+        reference = build_engine("reference", function_key, "random", "perfect")
+        vectorized = build_engine("vectorized", function_key, "random", "perfect")
+        reference.run(CYCLES)
+        vectorized.run(CYCLES)
+        assert reference.states() == vectorized.states()
+
+    def test_membership_and_contact_parity_under_churn(self):
+        reference = build_engine("reference", "average", "random", "churn")
+        vectorized = build_engine("vectorized", "average", "random", "churn")
+        reference.run(5)
+        vectorized.run(5)
+        assert reference.participant_ids() == vectorized.participant_ids()
+        assert reference.non_participant_ids() == vectorized.non_participant_ids()
+        assert reference.crashed_ids() == vectorized.crashed_ids()
+        assert (
+            reference.last_cycle_contact_counts
+            == vectorized.last_cycle_contact_counts
+        )
+
+    def test_vector_function_equivalence(self):
+        def build(engine):
+            rng = RandomSource(5)
+            overlay = build_overlay(OVERLAYS["random"], SIZE, rng.child("topology"))
+            return make_simulator(
+                overlay,
+                VectorFunction([AverageFunction(), MinFunction(), PushSumFunction()]),
+                [float(i) for i in range(SIZE)],
+                rng.child("simulation"),
+                engine=engine,
+            )
+
+        reference = build("reference")
+        vectorized = build("vectorized")
+        reference.run(CYCLES)
+        vectorized.run(CYCLES)
+        assert_traces_match(reference, vectorized, "vector-function")
+        assert reference.states() == vectorized.states()
+
+    def test_single_component_vector_function_runs_on_fast_path(self):
+        # Regression: a width-1 VectorFunction slices columns in its
+        # merge, so it must not be handed the flat state column.
+        rng = RandomSource(8)
+        overlay = build_overlay(OVERLAYS["random"], SIZE, rng.child("t"))
+        simulator = make_simulator(
+            overlay,
+            VectorFunction([AverageFunction()]),
+            [float(i) for i in range(SIZE)],
+            rng.child("s"),
+            engine="vectorized",
+        )
+        simulator.run(5)
+        assert simulator.trace.final.mean == pytest.approx((SIZE - 1) / 2)
+
+    def test_epoch_restart_parity(self):
+        reference = build_engine("reference", "average", "random", "perfect")
+        vectorized = build_engine("vectorized", "average", "random", "perfect")
+        for simulator in (reference, vectorized):
+            simulator.run(3)
+            simulator.add_node(value=4.0)
+            simulator.run(2)
+            simulator.restart_epoch({node: 1.0 for node in range(SIZE + 1)})
+            simulator.run(2)
+        assert_traces_match(reference, vectorized, "epoch-restart")
+        assert reference.states() == vectorized.states()
+
+
+class TestMassConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=4,
+            max_size=40,
+        ),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_vectorized_average_conserves_sum(self, values, seed):
+        rng = RandomSource(seed)
+        overlay = build_overlay(TopologySpec("complete"), len(values), rng.child("t"))
+        simulator = make_simulator(
+            overlay, AverageFunction(), values, rng.child("s"), engine="vectorized"
+        )
+        before = sum(simulator.states().values())
+        simulator.run(5)
+        after = sum(simulator.states().values())
+        assert after == pytest.approx(before, rel=1e-9, abs=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    def test_vectorized_push_sum_conserves_mass(self, seed):
+        rng = RandomSource(seed)
+        overlay = build_overlay(TopologySpec("random", degree=4), 30, rng.child("t"))
+        simulator = make_simulator(
+            overlay,
+            PushSumFunction(),
+            [float(i) for i in range(30)],
+            rng.child("s"),
+            engine="vectorized",
+        )
+        conserved = simulator.function.conserved_quantity
+        before = conserved(list(simulator.states().values()))
+        simulator.run(5)
+        after = conserved(list(simulator.states().values()))
+        assert after == pytest.approx(before, rel=1e-9)
+
+
+class TestDispatch:
+    def test_auto_picks_vectorized_for_codec_function_on_static_overlay(self):
+        simulator = build_engine("auto", "average", "random", "perfect")
+        assert isinstance(simulator, VectorizedCycleSimulator)
+
+    def test_auto_falls_back_for_map_based_count(self):
+        rng = RandomSource(3)
+        overlay = build_overlay(OVERLAYS["random"], SIZE, rng.child("t"))
+        function = CountMapFunction()
+        assert not supports_fast_path(function, overlay)
+        simulator = make_simulator(
+            overlay,
+            function,
+            {node: {} for node in range(SIZE)},
+            rng.child("s"),
+        )
+        assert isinstance(simulator, CycleSimulator)
+
+    def test_auto_falls_back_for_newscast_overlay(self):
+        rng = RandomSource(3)
+        overlay = build_overlay(TopologySpec("newscast", degree=8), SIZE, rng.child("t"))
+        assert not supports_fast_path(AverageFunction(), overlay)
+        simulator = make_simulator(
+            overlay, AverageFunction(), [1.0] * SIZE, rng.child("s")
+        )
+        assert isinstance(simulator, CycleSimulator)
+
+    def test_forced_vectorized_rejects_non_codec_function(self):
+        rng = RandomSource(3)
+        overlay = build_overlay(OVERLAYS["random"], SIZE, rng.child("t"))
+        with pytest.raises(ConfigurationError):
+            make_simulator(
+                overlay,
+                CountMapFunction(),
+                {node: {} for node in range(SIZE)},
+                rng.child("s"),
+                engine="vectorized",
+            )
+
+    def test_unknown_engine_rejected(self):
+        rng = RandomSource(3)
+        overlay = build_overlay(OVERLAYS["random"], SIZE, rng.child("t"))
+        with pytest.raises(ValueError):
+            make_simulator(
+                overlay, AverageFunction(), [1.0] * SIZE, rng.child("s"), engine="warp"
+            )
+
+
+class TestRecordEvery:
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_records_sampled_cycles_and_final(self, engine):
+        rng = RandomSource(4)
+        overlay = build_overlay(OVERLAYS["random"], SIZE, rng.child("t"))
+        simulator = make_simulator(
+            overlay,
+            AverageFunction(),
+            [float(i) for i in range(SIZE)],
+            rng.child("s"),
+            record_every=3,
+            engine=engine,
+        )
+        simulator.run(7)
+        assert simulator.trace.cycles() == [0, 3, 6, 7]
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_skipped_cycles_accumulate_exchange_counters(self, engine):
+        def build(record_every):
+            rng = RandomSource(4)
+            overlay = build_overlay(OVERLAYS["random"], SIZE, rng.child("t"))
+            return make_simulator(
+                overlay,
+                AverageFunction(),
+                [float(i) for i in range(SIZE)],
+                rng.child("s"),
+                transport=TransportModel(link_failure_probability=0.3),
+                record_every=record_every,
+                engine=engine,
+            )
+
+        dense = build(1)
+        sparse = build(4)
+        dense.run(8)
+        sparse.run(8)
+        assert (
+            dense.trace.total_completed_exchanges()
+            == sparse.trace.total_completed_exchanges()
+        )
+        assert (
+            dense.trace.total_failed_exchanges()
+            == sparse.trace.total_failed_exchanges()
+        )
+        # The sampled trace agrees with the dense one wherever both record.
+        for cycle in (4, 8):
+            assert sparse.trace.record_at(cycle).mean == pytest.approx(
+                dense.trace.record_at(cycle).mean
+            )
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_run_cycle_returns_none_on_skipped_cycles(self, engine):
+        rng = RandomSource(4)
+        overlay = build_overlay(OVERLAYS["random"], SIZE, rng.child("t"))
+        simulator = make_simulator(
+            overlay,
+            AverageFunction(),
+            [1.0] * SIZE,
+            rng.child("s"),
+            record_every=2,
+            engine=engine,
+        )
+        assert simulator.run_cycle() is None
+        record = simulator.run_cycle()
+        assert record is not None and record.cycle == 2
+
+    def test_invalid_record_every_rejected(self):
+        rng = RandomSource(4)
+        overlay = build_overlay(OVERLAYS["random"], SIZE, rng.child("t"))
+        with pytest.raises(ConfigurationError):
+            CycleSimulator(overlay, AverageFunction(), [1.0] * SIZE, rng.child("s"), record_every=0)
+
+
+class TestConflictRounds:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_rounds_partition_preserves_order_and_disjointness(self, data):
+        node_count = data.draw(st.integers(min_value=2, max_value=30))
+        exchange_count = data.draw(st.integers(min_value=0, max_value=80))
+        initiators = np.asarray(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=node_count - 1),
+                    min_size=exchange_count,
+                    max_size=exchange_count,
+                )
+            ),
+            dtype=np.int64,
+        )
+        peers = np.asarray(
+            [
+                data.draw(
+                    st.integers(min_value=0, max_value=node_count - 1).filter(
+                        lambda peer, initiator=initiator: peer != initiator
+                    )
+                )
+                for initiator in initiators
+            ],
+            dtype=np.int64,
+        )
+        scratch = np.empty(node_count, dtype=np.int64)
+        rounds = ordered_conflict_rounds(initiators, peers, scratch)
+
+        seen_positions = []
+        round_of_position = {}
+        for round_index, (batch_a, batch_b, positions) in enumerate(rounds):
+            touched = set()
+            for a, b, position in zip(batch_a, batch_b, positions):
+                assert initiators[position] == a and peers[position] == b
+                assert a not in touched and b not in touched, "round not node-disjoint"
+                touched.update((int(a), int(b)))
+                round_of_position[int(position)] = round_index
+                seen_positions.append(int(position))
+        assert sorted(seen_positions) == list(range(exchange_count)), "not a partition"
+        # Exchanges sharing a node must be applied in their original order.
+        for i in range(exchange_count):
+            for j in range(i + 1, exchange_count):
+                if {int(initiators[i]), int(peers[i])} & {
+                    int(initiators[j]),
+                    int(peers[j]),
+                }:
+                    assert round_of_position[i] < round_of_position[j]
