@@ -49,6 +49,7 @@ from ..common.rng import RandomSource
 from ..core.count import network_size_from_estimate
 from ..core.functions import AverageFunction
 from ..core.instances import MultiInstanceCount
+from ..simulator import make_simulator
 from ..simulator.cycle_sim import CycleSimulator
 from ..simulator.failures import (
     ChurnModel,
@@ -170,8 +171,19 @@ def _count_node_size_extremes(simulator: CycleSimulator) -> tuple:
     return min(finite), (math.inf if has_infinite else max(finite))
 
 
-def _newscast_spec(size: int, cache: int = 30) -> TopologySpec:
-    return TopologySpec("newscast", degree=min(cache, max(2, size - 1)))
+def _newscast_spec(size: int, cache: int = 30, vectorized: bool = True) -> TopologySpec:
+    """The NEWSCAST overlay spec used by the dynamic-membership figures.
+
+    Defaults to the array-native implementation so the robustness
+    figures (4b, 6b, 7b, ...) stay on the vectorized fast path and run
+    at the paper's 10^5-node scale; pass ``vectorized=False`` for the
+    dict-based reference overlay.
+    """
+    return TopologySpec(
+        "newscast",
+        degree=min(cache, max(2, size - 1)),
+        params={"vectorized": True} if vectorized else {},
+    )
 
 
 # ----------------------------------------------------------------------
@@ -354,7 +366,7 @@ def figure4b_newscast_cache_size(
         )
     rows = []
     for cache in cache_sizes:
-        spec = TopologySpec("newscast", degree=int(cache))
+        spec = _newscast_spec(size, cache=int(cache))
 
         def one_run(index: int, rng: RandomSource, spec=spec):
             values = uniform_initial_values(size, rng.child("values"))
@@ -643,7 +655,7 @@ def _run_multi_instance(
             bundle = MultiInstanceCount.create(
                 overlay.node_ids(), int(count), rng.child("instances")
             )
-            simulator = CycleSimulator(
+            simulator = make_simulator(
                 overlay=overlay,
                 function=bundle.function,
                 initial_values=bundle.initial_values,

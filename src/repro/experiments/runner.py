@@ -19,7 +19,7 @@ from ..common.errors import ConfigurationError
 from ..common.rng import RandomSource, derive_seed
 from ..core.functions import AggregationFunction, AverageFunction
 from ..core.count import peak_initial_values
-from ..simulator.cycle_sim import CycleSimulator
+from ..simulator import make_simulator
 from ..simulator.failures import FailureModel
 from ..simulator.metrics import SimulationTrace
 from ..simulator.transport import PERFECT_TRANSPORT, TransportModel
@@ -55,20 +55,27 @@ def run_average_once(
     transport: TransportModel = PERFECT_TRANSPORT,
     failure_model: Optional[FailureModel] = None,
     function: Optional[AggregationFunction] = None,
-) -> CycleSimulator:
+    engine: str = "auto",
+):
     """Build and run one cycle-driven simulation; return the simulator.
 
     The returned simulator exposes both the trace (for convergence
     measures) and the final states (for COUNT-style post-processing).
+    The engine is chosen by :func:`~repro.simulator.make_simulator`
+    (``engine="auto"`` by default): configurations whose function and
+    overlay support the array codec — including the array-native
+    NEWSCAST overlay — run on the vectorized fast path, everything else
+    on the reference engine, with identical results either way.
     """
     overlay = build_overlay(topology, size, rng.child("topology"))
-    simulator = CycleSimulator(
+    simulator = make_simulator(
         overlay=overlay,
         function=function or AverageFunction(),
         initial_values=list(values),
         rng=rng.child("simulation"),
         transport=transport,
         failure_model=failure_model,
+        engine=engine,
     )
     simulator.run(cycles)
     return simulator

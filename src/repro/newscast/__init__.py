@@ -1,6 +1,29 @@
-"""NEWSCAST: the epidemic membership protocol used as the dynamic overlay."""
+"""NEWSCAST: the epidemic membership protocol used as the dynamic overlay.
+
+Two interchangeable implementations are provided: the dict-based
+reference :class:`NewscastOverlay` (one ``NewscastCache`` per node) and
+the array-native :class:`VectorizedNewscastOverlay` (all caches in one
+packed matrix, batched maintenance, ``select_peers_batch``), which is
+what keeps NEWSCAST configurations on the vectorized fast-path engine.
+"""
 
 from .cache import CacheEntry, NewscastCache
 from .protocol import NewscastOverlay
+from .vectorized_cache import (
+    MAX_NODE_ID,
+    VectorizedNewscastOverlay,
+    merge_packed_pairs,
+    pack_entries,
+    unpack_entries,
+)
 
-__all__ = ["CacheEntry", "NewscastCache", "NewscastOverlay"]
+__all__ = [
+    "CacheEntry",
+    "NewscastCache",
+    "NewscastOverlay",
+    "VectorizedNewscastOverlay",
+    "MAX_NODE_ID",
+    "merge_packed_pairs",
+    "pack_entries",
+    "unpack_entries",
+]

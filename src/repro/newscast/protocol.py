@@ -108,6 +108,10 @@ class NewscastOverlay(OverlayProvider):
             return None
         return cache.random_peer(rng)
 
+    def contains(self, node_id: int) -> bool:
+        """O(1) membership check (the base fallback scans all node ids)."""
+        return node_id in self._alive
+
     def on_node_removed(self, node_id: int) -> None:
         # Crashed nodes stop exchanging; their descriptors age out of other
         # caches naturally.  We only drop the node's own state.

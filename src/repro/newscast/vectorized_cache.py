@@ -1,0 +1,600 @@
+"""Array-native NEWSCAST: all node caches as struct-of-arrays matrices.
+
+The dict-based :class:`~repro.newscast.protocol.NewscastOverlay` keeps one
+``NewscastCache`` object per node and runs every cache exchange as a
+Python-level merge — fine at a few thousand nodes, hopeless at the
+paper's 10^5.  This module stores *all* caches in one ``(rows, c)``
+matrix and runs the whole per-cycle maintenance round as a handful of
+batched NumPy passes, which is what lets ``make_simulator`` keep the
+dynamic-membership figures (4b, 6b, 7b) on the vectorized fast path.
+
+Representation
+--------------
+A cache entry ``(timestamp, peer_id)`` is packed into one ``int64`` as
+``(timestamp << ID_BITS) | peer_id`` (``-1`` marks an empty slot).  With
+integral timestamps — the overlay clock only ever advances by 1 — the
+numeric order of packed values *is* the ``CacheEntry`` order
+``(timestamp, peer_id)``, so plain value sorts replace object
+comparisons, and "keep the ``c`` freshest with deterministic
+``(timestamp, peer_id)`` tie-breaking" becomes "sort descending, slice".
+Each row stores its valid entries first (freshest first), then ``-1``
+padding; ``_counts[row]`` holds the number of valid entries.
+
+Equivalence to the dict implementation (documented per property)
+----------------------------------------------------------------
+* **Bit-level — the merge kernel.**  :func:`merge_packed_pairs`
+  reproduces :meth:`NewscastCache.merged_with` exactly: union of both
+  caches plus fresh descriptors, own-id entries excluded, per-peer
+  dedup keeping the freshest descriptor, the ``c`` freshest survivors
+  kept with ``(timestamp, peer_id)`` tie-breaking identical to
+  ``NewscastCache.entries()``.  The equivalence suite checks this
+  entry-for-entry against the dict merge (hypothesis property).
+* **Bit-level — the two engines.**  Given the *same*
+  ``VectorizedNewscastOverlay`` class on both sides, the reference
+  ``CycleSimulator`` and the ``VectorizedCycleSimulator`` consume
+  identical overlay randomness (both call ``after_cycle`` with the
+  engine's ``overlay`` stream and draw peers through
+  ``select_peers_batch``), so a root seed produces the same exchange
+  schedule and the same caches in either engine.
+* **Distribution-level — the maintenance round.**  The dict overlay
+  runs its exchanges strictly sequentially: a node's *peer choice* can
+  read a cache that an earlier exchange of the same round already
+  rewrote.  The batched round draws all peer choices up front from the
+  start-of-round caches, then applies the exchanges with the same
+  sequential read-after-write semantics as the reference (via
+  :func:`~repro.simulator.sampling.ordered_conflict_rounds`).  The two
+  overlays therefore follow different — but identically distributed —
+  trajectories; the equivalence suite asserts that aggregation over
+  both matches in convergence-factor terms under no-failure, churn and
+  message-loss scenarios.
+
+One merge per exchange, not two
+-------------------------------
+After a NEWSCAST exchange the two participants keep *almost* the same
+cache: both equal the ``c`` freshest of the shared deduped pool
+``A ∪ B ∪ {(a, now), (b, now)}`` minus their own fresh descriptor (the
+pool's per-peer dedup collapses every own-id entry into the own fresh
+descriptor, because ``now`` is the maximal timestamp).  The kernel
+therefore computes the pool's top ``c + 1`` once per pair and derives
+each side by deleting one element — half the sort work of merging each
+direction independently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..common.errors import MembershipError
+from ..common.rng import RandomSource
+from ..common.validation import require_positive
+from ..topology.base import OverlayProvider
+from .cache import CacheEntry, NewscastCache
+
+__all__ = [
+    "ID_BITS",
+    "MAX_NODE_ID",
+    "VectorizedNewscastOverlay",
+    "merge_packed_pairs",
+    "pack_entries",
+    "unpack_entries",
+]
+
+#: Bits of a packed entry reserved for the peer identifier.
+ID_BITS = 24
+#: Largest representable node identifier (24 bits: ~16.7M nodes).
+MAX_NODE_ID = (1 << ID_BITS) - 1
+#: Bits reserved for the timestamp (value bits of int64 minus ID_BITS).
+TS_BITS = 63 - ID_BITS
+#: Timestamp bits of the narrow (int32) packing used by the merge kernel
+#: while the logical clock still fits: 31 value bits minus ID_BITS.
+NARROW_TS_BITS = 31 - ID_BITS
+_ID_MASK = np.int64(MAX_NODE_ID)
+_TS_MASK = np.int64((1 << TS_BITS) - 1)
+_EMPTY = np.int64(-1)
+
+#: Below this network size the bootstrap uses the exact scalar sampler;
+#: above it, the batched redraw-until-distinct sampler (same guarantees,
+#: different stream usage).
+_SCALAR_BOOTSTRAP_LIMIT = 2048
+
+
+# ----------------------------------------------------------------------
+# Packing helpers (shared with the tests)
+# ----------------------------------------------------------------------
+def pack_entries(entries: Sequence[CacheEntry], capacity: int) -> np.ndarray:
+    """Pack ``entries`` into one padded cache row (freshest first)."""
+    row = np.full(capacity, _EMPTY, dtype=np.int64)
+    ordered = sorted(entries, reverse=True)[:capacity]
+    for column, entry in enumerate(ordered):
+        timestamp = int(entry.timestamp)
+        if timestamp != entry.timestamp:
+            raise ValueError("packed caches require integral timestamps")
+        row[column] = (np.int64(timestamp) << ID_BITS) | np.int64(entry.peer_id)
+    return row
+
+
+def unpack_entries(row: np.ndarray) -> List[CacheEntry]:
+    """The valid entries of a packed row as ``CacheEntry`` objects."""
+    valid = row[row >= 0]
+    return [
+        CacheEntry(timestamp=float(int(value) >> ID_BITS), peer_id=int(value) & MAX_NODE_ID)
+        for value in valid
+    ]
+
+
+# ----------------------------------------------------------------------
+# The batched merge kernel
+# ----------------------------------------------------------------------
+def merge_packed_pairs(
+    rows_a: np.ndarray,
+    rows_b: np.ndarray,
+    ids_a: np.ndarray,
+    ids_b: np.ndarray,
+    now: int,
+    capacity: int,
+    ts_bound: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge ``k`` cache pairs at once; return both directions' new rows.
+
+    Parameters
+    ----------
+    rows_a, rows_b:
+        ``(k, capacity)`` packed cache rows of the initiators and their
+        exchange partners (start-of-exchange states).
+    ids_a, ids_b:
+        The participants' node identifiers, aligned with the rows.
+    now:
+        The (integral) logical time stamped onto the fresh descriptors.
+    capacity:
+        The cache capacity ``c``.
+    ts_bound:
+        Optional upper bound (inclusive) the *caller guarantees* for
+        every timestamp in ``rows_a`` / ``rows_b``.  When the bound fits
+        the narrow packing (`< 2**NARROW_TS_BITS`), the kernel runs on
+        int32 — half the memory traffic, bit-identical results, because
+        the narrow packing is still injective and order-preserving.  The
+        overlay passes its clock here (no stored entry can be fresher
+        than the clock); external callers may omit it.
+
+    Returns
+    -------
+    ``(new_a, new_b)`` — packed ``(k, capacity)`` rows equal,
+    entry-for-entry, to ``NewscastCache.merged_with`` applied to each
+    direction of every pair.
+    """
+    k = int(ids_a.size)
+    width = 2 * capacity + 2
+    if k == 0:
+        empty = np.empty((0, capacity), dtype=np.int64)
+        return empty, empty
+    narrow = (
+        ts_bound is not None
+        and 0 <= int(now) <= int(ts_bound)
+        and int(ts_bound) < (1 << NARROW_TS_BITS)
+    )
+    dtype = np.int32 if narrow else np.int64
+    ts_bits = NARROW_TS_BITS if narrow else TS_BITS
+    id_mask = dtype(MAX_NODE_ID)
+    ts_mask = dtype((1 << ts_bits) - 1)
+    now_packed = dtype(int(now) << ID_BITS)
+
+    candidates = np.empty((k, width), dtype=dtype)
+    candidates[:, :capacity] = rows_a
+    candidates[:, capacity : 2 * capacity] = rows_b
+    fresh_a = now_packed | ids_a.astype(dtype)
+    fresh_b = now_packed | ids_b.astype(dtype)
+    candidates[:, width - 2] = fresh_a
+    candidates[:, width - 1] = fresh_b
+
+    # Repack id-major: (id << ts_bits) | ts.  Empty slots stay -1 because
+    # (x >> ID_BITS) == -1 for x == -1 and (y | -1) == -1.
+    id_major = candidates & id_mask
+    id_major <<= ts_bits
+    candidates >>= ID_BITS
+    id_major |= candidates
+    id_major.sort(axis=1)
+    # Per-peer dedup: id groups are contiguous with timestamps ascending,
+    # so the last entry of each group is the peer's freshest descriptor.
+    # Adjacent entries belong to different groups iff their XOR reaches
+    # into the id field; the XOR also handles the empty block for free
+    # (-1 ^ -1 == 0 keeps dropping empties, and -1 ^ valid is negative, so
+    # the boundary empty is dropped too).  The final column is always the
+    # largest value of the row — a valid entry, since the fresh
+    # descriptors are always present — and always survives.
+    keep = np.empty((k, width), dtype=bool)
+    np.greater(id_major[:, :-1] ^ id_major[:, 1:], ts_mask, out=keep[:, :-1])
+    keep[:, -1] = True
+    # Back to timestamp-major order; dropped entries become -1 again.
+    survivors = id_major & ts_mask
+    survivors <<= ID_BITS
+    id_major >>= ts_bits
+    survivors |= id_major
+    survivors[~keep] = dtype(-1)
+    survivors.sort(axis=1)
+    # The pool's top (capacity + 1), freshest first.  Both fresh
+    # descriptors carry the maximal timestamp, so after dedup the only
+    # own-id entry each side might see is its own fresh descriptor.
+    top = survivors[:, : width - capacity - 2 : -1].copy()
+    head = top[:, :capacity]
+    tail = top[:, 1:]
+    columns = np.arange(capacity, dtype=np.int32)
+    result = []
+    for own_fresh in (fresh_a, fresh_b):
+        # Rank of the own descriptor in the (descending) top slice.  The
+        # pool always contains it, so either rank <= capacity and
+        # top[rank] IS the descriptor (delete it, shifting the tail up),
+        # or rank == capacity + 1 and the top `capacity` entries are
+        # already own-free (the surplus last element just drops).
+        position = (top > own_fresh[:, None]).sum(axis=1, dtype=np.int32)
+        result.append(np.where(columns >= position[:, None], tail, head))
+    new_a, new_b = result
+    if narrow:
+        return new_a.astype(np.int64), new_b.astype(np.int64)
+    return new_a, new_b
+
+
+class VectorizedNewscastOverlay(OverlayProvider):
+    """NEWSCAST maintained as struct-of-arrays matrices.
+
+    A drop-in for :class:`~repro.newscast.protocol.NewscastOverlay` that
+    additionally implements ``select_peers_batch``, making it eligible
+    for the vectorized fast-path engine (see
+    :func:`repro.simulator.supports_fast_path`).  Node identifiers must
+    stay below :data:`MAX_NODE_ID`.
+
+    Membership churn is wired through *row recycling*: every node owns
+    one matrix row, rows of removed nodes go to a free list and are
+    reused for joiners, and a swap-remove alive-row list gives O(1)
+    membership updates and O(1) uniform contact sampling — so
+    ``ChurnModel``, crash models and epoch restarts drive this overlay
+    through the exact same ``on_node_added`` / ``on_node_removed`` API
+    as every other overlay, without the matrices ever growing beyond
+    the peak live population.
+    """
+
+    def __init__(self, cache_size: int, rng: RandomSource) -> None:
+        require_positive(cache_size, "cache_size")
+        self._cache_size = int(cache_size)
+        self._rng = rng
+        self._clock = 0
+        self.name = f"newscast-array(c={cache_size})"
+        #: Number of NEWSCAST exchanges performed in the most recent cycle.
+        self.last_cycle_exchanges = 0
+
+        self._row_capacity = 0
+        self._packed = np.empty((0, self._cache_size), dtype=np.int64)
+        self._counts = np.empty(0, dtype=np.int64)
+        self._id_by_row = np.empty(0, dtype=np.int64)
+        self._row_pos = np.empty(0, dtype=np.int64)
+        self._alive_rows = np.empty(0, dtype=np.int64)
+        self._alive_count = 0
+        self._free_rows: List[int] = []
+        self._row_by_id = np.full(1, -1, dtype=np.int64)
+        self._scratch = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def bootstrap(
+        cls,
+        size: int,
+        cache_size: int,
+        rng: RandomSource,
+        warmup_cycles: int = 5,
+    ) -> "VectorizedNewscastOverlay":
+        """Create an overlay of ``size`` nodes with warmed-up caches.
+
+        Mirrors :meth:`NewscastOverlay.bootstrap`: every node starts with
+        ``min(cache_size, size - 1)`` distinct uniformly random peers at
+        timestamp 0, then ``warmup_cycles`` maintenance rounds run so the
+        caches resemble the protocol's steady state.
+        """
+        require_positive(size, "size")
+        if size - 1 > MAX_NODE_ID:
+            raise MembershipError(
+                f"array-native NEWSCAST supports node ids up to {MAX_NODE_ID}"
+            )
+        overlay = cls(cache_size, rng)
+        overlay._grow_rows(size)
+        overlay._row_by_id = np.full(max(size, 1), -1, dtype=np.int64)
+        rows = np.arange(size, dtype=np.int64)
+        overlay._row_by_id[:size] = rows
+        overlay._id_by_row[:size] = rows
+        overlay._row_pos[:size] = rows
+        overlay._alive_rows[:size] = rows
+        overlay._alive_count = size
+
+        fill = min(cache_size, max(1, size - 1))
+        if size == 1:
+            overlay._counts[:size] = 0
+        else:
+            peers = overlay._bootstrap_peers(size, fill, rng)
+            # Timestamp 0 packs to the peer id itself; order rows
+            # freshest-first, i.e. by peer id descending.
+            peers.sort(axis=1)
+            overlay._packed[:size, :fill] = peers[:, ::-1]
+            overlay._counts[:size] = fill
+        for _ in range(max(0, int(warmup_cycles))):
+            overlay.after_cycle(rng)
+        return overlay
+
+    @staticmethod
+    def _bootstrap_peers(size: int, fill: int, rng: RandomSource) -> np.ndarray:
+        """Draw ``fill`` distinct random peers (excluding self) per node."""
+        if size <= _SCALAR_BOOTSTRAP_LIMIT:
+            peers = np.empty((size, fill), dtype=np.int64)
+            for node in range(size):
+                draws = rng.sample_indices(size - 1, fill).astype(np.int64)
+                draws[draws >= node] += 1
+                peers[node] = draws
+            return peers
+        generator = rng.generator
+        draws = generator.integers(0, size - 1, size=(size, fill), dtype=np.int64)
+        draws.sort(axis=1)
+        for _ in range(64):
+            duplicate = np.zeros((size, fill), dtype=bool)
+            duplicate[:, 1:] = draws[:, 1:] == draws[:, :-1]
+            count = int(np.count_nonzero(duplicate))
+            if count == 0:
+                break
+            draws[duplicate] = generator.integers(0, size - 1, size=count, dtype=np.int64)
+            draws.sort(axis=1)
+        else:  # pragma: no cover - astronomically unlikely at this size
+            raise MembershipError("bootstrap sampling failed to produce distinct peers")
+        rows = np.arange(size, dtype=np.int64)[:, None]
+        draws[draws >= rows] += 1
+        return draws
+
+    # ------------------------------------------------------------------
+    # OverlayProvider interface
+    # ------------------------------------------------------------------
+    def node_ids(self) -> List[int]:
+        ids = self._id_by_row[self._alive_rows[: self._alive_count]]
+        ids = np.sort(ids)
+        return [int(node) for node in ids]
+
+    def neighbors(self, node_id: int) -> Sequence[int]:
+        row = self._row_of(node_id)
+        if row < 0:
+            raise MembershipError(f"unknown node {node_id}")
+        count = int(self._counts[row])
+        return tuple(int(value) & MAX_NODE_ID for value in self._packed[row, :count])
+
+    def select_peer(self, node_id: int, rng: RandomSource) -> Optional[int]:
+        row = self._row_of(node_id)
+        if row < 0:
+            return None
+        count = int(self._counts[row])
+        if count == 0:
+            return None
+        return int(self._packed[row, rng.choice_index(count)]) & MAX_NODE_ID
+
+    def select_peers_batch(
+        self, node_ids: np.ndarray, generator: np.random.Generator
+    ) -> np.ndarray:
+        """Draw one uniform cache entry for every node in ``node_ids``.
+
+        Returns an int64 array aligned with ``node_ids``; ``-1`` marks
+        nodes with an empty (or unknown) cache.  The returned peers may
+        be crashed — exactly like the dict overlay's ``select_peer``, the
+        caller decides what a stale descriptor means.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if node_ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        rows = self._row_by_id[node_ids]
+        counts = np.where(rows >= 0, self._counts[rows], 0)
+        draws = (generator.random(node_ids.size) * counts).astype(np.int64)
+        peers = self._packed[rows, draws] & _ID_MASK
+        peers[counts == 0] = -1
+        return peers
+
+    def contains(self, node_id: int) -> bool:
+        return self._row_of(node_id) >= 0
+
+    def size(self) -> int:
+        return self._alive_count
+
+    def on_node_removed(self, node_id: int) -> None:
+        row = self._row_of(node_id)
+        if row < 0:
+            return
+        self._row_by_id[node_id] = -1
+        self._id_by_row[row] = -1
+        self._packed[row] = _EMPTY
+        self._counts[row] = 0
+        # Swap-remove from the alive-row list, recycle the row.
+        position = int(self._row_pos[row])
+        last = self._alive_rows[self._alive_count - 1]
+        self._alive_rows[position] = last
+        self._row_pos[last] = position
+        self._alive_count -= 1
+        self._free_rows.append(int(row))
+
+    def on_node_added(self, node_id: int, rng: RandomSource) -> None:
+        if node_id < 0 or node_id > MAX_NODE_ID:
+            raise MembershipError(
+                f"node id {node_id} outside the packed range [0, {MAX_NODE_ID}]"
+            )
+        if self._row_of(node_id) >= 0:
+            raise MembershipError(f"node {node_id} already exists")
+        contact_row = -1
+        if self._alive_count > 0:
+            contact_row = int(self._alive_rows[rng.choice_index(self._alive_count)])
+        row = self._allocate_row(node_id)
+        if contact_row >= 0:
+            contact_id = int(self._id_by_row[contact_row])
+            now_packed = np.int64(self._clock) << ID_BITS
+            # The joining node learns the contact plus the contact's view
+            # (minus any stale descriptor of itself).
+            pool = np.concatenate(
+                (self._packed[contact_row], [now_packed | np.int64(contact_id)])
+            )
+            pool[(pool & _ID_MASK) == node_id] = _EMPTY
+            pool[::-1].sort()
+            self._packed[row] = pool[: self._cache_size]
+            self._counts[row] = int(np.count_nonzero(self._packed[row] >= 0))
+            # The contact also hears about the new node right away.
+            contact_pool = np.concatenate(
+                (self._packed[contact_row], [now_packed | np.int64(node_id)])
+            )
+            contact_pool[::-1].sort()
+            self._packed[contact_row] = contact_pool[: self._cache_size]
+            self._counts[contact_row] = int(
+                np.count_nonzero(self._packed[contact_row] >= 0)
+            )
+
+    def after_cycle(self, rng: RandomSource) -> None:
+        """Run one batched round of NEWSCAST exchanges over all live nodes.
+
+        Every live node initiates one exchange with a uniformly random
+        entry of its cache (peer choices drawn from the start-of-round
+        caches); exchanges whose target has crashed time out.  The
+        surviving exchanges are applied with the reference engine's
+        sequential read-after-write semantics via
+        :func:`~repro.simulator.sampling.ordered_conflict_rounds`.
+        """
+        from ..simulator.sampling import ordered_conflict_rounds
+
+        self._clock += 1
+        count = self._alive_count
+        if count == 0:
+            self.last_cycle_exchanges = 0
+            return
+        generator = rng.generator
+        initiators = self._alive_rows[:count][generator.permutation(count)]
+        cache_sizes = self._counts[initiators]
+        draws = (generator.random(count) * cache_sizes).astype(np.int64)
+        peer_ids = self._packed[initiators, draws] & _ID_MASK
+        # Empty caches produce a garbage id from the -1 padding; pin them
+        # to a safe in-range id before the row lookup, then filter.
+        peer_ids[cache_sizes == 0] = 0
+        peer_rows = self._row_by_id[peer_ids]
+        usable = (cache_sizes > 0) & (peer_rows >= 0)
+        initiators = initiators[usable]
+        peer_rows = peer_rows[usable]
+        self.last_cycle_exchanges = int(initiators.size)
+        if initiators.size == 0:
+            return
+        if self._scratch.size < self._row_capacity:
+            self._scratch = np.empty(self._row_capacity, dtype=np.int64)
+        rounds = ordered_conflict_rounds(
+            initiators, peer_rows, self._scratch, track_positions=False
+        )
+        capacity = self._cache_size
+        for batch_a, batch_b, _ in rounds:
+            new_a, new_b = merge_packed_pairs(
+                self._packed[batch_a],
+                self._packed[batch_b],
+                self._id_by_row[batch_a],
+                self._id_by_row[batch_b],
+                self._clock,
+                capacity,
+                # No stored entry can be fresher than the clock, so the
+                # kernel may use the narrow packing while the clock fits.
+                ts_bound=self._clock,
+            )
+            self._packed[batch_a] = new_a
+            self._packed[batch_b] = new_b
+        # One deferred count pass over the live rows replaces per-round
+        # bookkeeping; merges never read counts (padding is -1).
+        rows = self._alive_rows[: self._alive_count]
+        self._counts[rows] = np.count_nonzero(self._packed[rows] >= 0, axis=1)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by tests and analysis
+    # ------------------------------------------------------------------
+    @property
+    def cache_size(self) -> int:
+        """The configured cache capacity ``c``."""
+        return self._cache_size
+
+    @property
+    def clock(self) -> float:
+        """The overlay's logical clock (one tick per NEWSCAST cycle)."""
+        return float(self._clock)
+
+    def cache_of(self, node_id: int) -> NewscastCache:
+        """The cache of ``node_id`` as a ``NewscastCache`` (for tests)."""
+        row = self._row_of(node_id)
+        if row < 0:
+            raise MembershipError(f"unknown node {node_id}")
+        return NewscastCache(self._cache_size, unpack_entries(self._packed[row]))
+
+    def stale_reference_fraction(self) -> float:
+        """Fraction of cache entries across live nodes pointing to dead peers."""
+        rows = self._alive_rows[: self._alive_count]
+        if rows.size == 0:
+            return 0.0
+        entries = self._packed[rows]
+        valid = entries >= 0
+        total = int(np.count_nonzero(valid))
+        if total == 0:
+            return 0.0
+        # Mask the padding out *before* deriving ids: -1 slots would
+        # otherwise alias to id MAX_NODE_ID and index out of bounds.
+        ids = entries[valid] & _ID_MASK
+        stale = int(np.count_nonzero(self._row_by_id[ids] < 0))
+        return stale / total
+
+    def in_degree_distribution(self) -> Dict[int, int]:
+        """How many live caches reference each live node."""
+        rows = self._alive_rows[: self._alive_count]
+        counts: Dict[int, int] = {int(self._id_by_row[row]): 0 for row in rows}
+        entries = self._packed[rows]
+        ids = (entries[entries >= 0] & _ID_MASK).ravel()
+        alive = ids[self._row_by_id[ids] >= 0]
+        for node, count in zip(*np.unique(alive, return_counts=True)):
+            if int(node) in counts:
+                counts[int(node)] = int(count)
+        return counts
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _row_of(self, node_id: int) -> int:
+        if 0 <= node_id < self._row_by_id.size:
+            return int(self._row_by_id[node_id])
+        return -1
+
+    def _allocate_row(self, node_id: int) -> int:
+        if node_id >= self._row_by_id.size:
+            grown = np.full(max(node_id + 1, 2 * self._row_by_id.size), -1, dtype=np.int64)
+            grown[: self._row_by_id.size] = self._row_by_id
+            self._row_by_id = grown
+        if self._free_rows:
+            row = self._free_rows.pop()
+        else:
+            if self._alive_count >= self._row_capacity:
+                self._grow_rows(max(2 * self._row_capacity, self._alive_count + 1))
+            row = self._alive_count
+        self._row_by_id[node_id] = row
+        self._id_by_row[row] = node_id
+        self._packed[row] = _EMPTY
+        self._counts[row] = 0
+        self._alive_rows[self._alive_count] = row
+        self._row_pos[row] = self._alive_count
+        self._alive_count += 1
+        return row
+
+    def _grow_rows(self, new_capacity: int) -> None:
+        old = self._row_capacity
+        if new_capacity <= old:
+            return
+        packed = np.full((new_capacity, self._cache_size), _EMPTY, dtype=np.int64)
+        packed[:old] = self._packed
+        self._packed = packed
+        for name in ("_counts", "_id_by_row", "_row_pos", "_alive_rows"):
+            grown = np.full(new_capacity, -1, dtype=np.int64)
+            grown[:old] = getattr(self, name)
+            setattr(self, name, grown)
+        self._counts[old:] = 0
+        self._row_capacity = new_capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VectorizedNewscastOverlay(c={self._cache_size}, nodes={self._alive_count})"
+        )

@@ -82,11 +82,13 @@ def supports_fast_path(
     """Whether the vectorised engine can run this configuration.
 
     The fast path needs an aggregation function with the array codec and
-    an overlay with batched peer selection (static topologies and the
-    complete overlay; NEWSCAST maintains per-node caches and stays on the
-    reference engine).  Every transport and failure model is supported —
-    transports classify outcomes in batch and failure models drive the
-    engines through the identical public membership API — so the two extra
+    an overlay with batched peer selection (``select_peers_batch``):
+    every static topology, the complete overlay, and the array-native
+    :class:`~repro.newscast.VectorizedNewscastOverlay`.  Only the
+    dict-based reference ``NewscastOverlay`` stays on the reference
+    engine.  Every transport and failure model is supported — transports
+    classify outcomes in batch and failure models drive the engines
+    through the identical public membership API — so the two extra
     parameters exist only so future models can veto the fast path without
     changing call sites.
     """

@@ -26,6 +26,7 @@ from typing import List, Sequence
 
 from ..common.rng import RandomSource
 from ..common.validation import (
+    require,
     require_non_negative,
     require_probability,
 )
@@ -113,7 +114,12 @@ class SuddenDeathModel(FailureModel):
 
     def __init__(self, fraction: float, at_cycle: int) -> None:
         require_probability(fraction, "fraction")
-        require_non_negative(at_cycle, "at_cycle")
+        # Cycle indices are 1-based (`apply` sees cycle_index >= 1), so
+        # at_cycle=0 would be accepted and then silently never fire.
+        require(
+            at_cycle >= 1,
+            f"at_cycle is a 1-based cycle index and must be >= 1, got {at_cycle!r}",
+        )
         self.fraction = fraction
         self.at_cycle = int(at_cycle)
 

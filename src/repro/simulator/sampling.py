@@ -39,17 +39,22 @@ __all__ = ["CyclePlan", "draw_cycle_plan", "ordered_conflict_rounds"]
 #: largest size seen serves every smaller request as a view — the cache
 #: never thrashes even though lossy transports make the effective
 #: exchange count vary cycle to cycle.  The arrays are read-only after
-#: publication, so sharing them across engines and threads is safe.
-_PEEL_TEMPLATES: List = [0, None]
+#: publication and the cache cell holds one `(size, arrays)` tuple that
+#: is built completely *before* being published with a single (atomic
+#: under the GIL) assignment, so concurrent engines — e.g. the thread
+#: executor of ``repeat_traces`` — can never observe a new size paired
+#: with stale short arrays.
+_PEEL_TEMPLATES: List[Tuple[int, Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]]] = [
+    (0, None)
+]
 
 
 def _peel_templates(total: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    size, arrays = _PEEL_TEMPLATES
+    size, arrays = _PEEL_TEMPLATES[0]
     if arrays is None or size < total:
         ascending = np.arange(total, dtype=np.int64)
         arrays = (ascending, ascending + ascending, np.repeat(ascending, 2))
-        _PEEL_TEMPLATES[0] = total
-        _PEEL_TEMPLATES[1] = arrays
+        _PEEL_TEMPLATES[0] = (total, arrays)
         return arrays
     ascending, doubled, ascending_pairs = arrays
     return ascending[:total], doubled[:total], ascending_pairs[: 2 * total]

@@ -66,8 +66,14 @@ class OverlayProvider(abc.ABC):
         return len(self.node_ids())
 
     def contains(self, node_id: int) -> bool:
-        """Whether ``node_id`` is currently part of the overlay."""
-        return node_id in set(self.node_ids())
+        """Whether ``node_id`` is currently part of the overlay.
+
+        The fallback scans ``node_ids()`` directly instead of building a
+        throwaway set (which made every membership check O(N) *plus* an
+        O(N) allocation).  Overlays with an index override this with a
+        real O(1) lookup.
+        """
+        return node_id in self.node_ids()
 
 
 class StaticTopology(OverlayProvider):

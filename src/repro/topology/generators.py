@@ -94,9 +94,16 @@ def build_overlay(spec: TopologySpec, size: int, rng: RandomSource) -> OverlayPr
     if kind == "newscast":
         # Imported lazily to avoid a package cycle: newscast depends on
         # topology.base for the OverlayProvider interface.
-        from ..newscast import NewscastOverlay
+        from ..newscast import NewscastOverlay, VectorizedNewscastOverlay
 
-        return NewscastOverlay.bootstrap(size, cache_size=spec.degree, rng=rng, **spec.params)
+        params = dict(spec.params)
+        # ``params={"vectorized": True}`` selects the array-native
+        # implementation, which supports batched peer selection and
+        # therefore keeps the configuration on the fast-path engine.
+        overlay_class = (
+            VectorizedNewscastOverlay if params.pop("vectorized", False) else NewscastOverlay
+        )
+        return overlay_class.bootstrap(size, cache_size=spec.degree, rng=rng, **params)
     raise ConfigurationError(
         f"unknown topology kind {spec.kind!r}; expected one of {TOPOLOGY_KINDS}"
     )

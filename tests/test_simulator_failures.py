@@ -74,6 +74,21 @@ class TestSuddenDeathModel:
     def test_describe(self):
         assert "cycle 3" in SuddenDeathModel(0.5, at_cycle=3).describe()
 
+    def test_at_cycle_zero_rejected(self):
+        # Cycle indices are 1-based; at_cycle=0 used to be accepted and
+        # then silently never fire.
+        with pytest.raises(ConfigurationError, match="1-based"):
+            SuddenDeathModel(0.5, at_cycle=0)
+
+    def test_negative_at_cycle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SuddenDeathModel(0.5, at_cycle=-2)
+
+    def test_at_cycle_one_fires_on_first_cycle(self):
+        simulator = make_simulator(size=100, failure_model=SuddenDeathModel(0.5, at_cycle=1))
+        simulator.run_cycle()
+        assert len(simulator.participant_ids()) == 50
+
 
 class TestChurnModel:
     def test_population_size_constant_but_composition_changes(self):

@@ -1,0 +1,76 @@
+"""Tests for the shared cycle-plan sampling helpers.
+
+The peel-template cache is shared, mutable, process-global state read by
+both engines — including from the thread executor of ``repeat_traces`` —
+so its publication discipline gets its own regression tests here.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.simulator import sampling
+from repro.simulator.sampling import _peel_templates
+
+
+def assert_templates_consistent(total, templates):
+    ascending, doubled, ascending_pairs = templates
+    assert ascending.shape == (total,)
+    assert doubled.shape == (total,)
+    assert ascending_pairs.shape == (2 * total,)
+    assert np.array_equal(ascending, np.arange(total))
+    assert np.array_equal(doubled, 2 * np.arange(total))
+    assert np.array_equal(ascending_pairs, np.repeat(np.arange(total), 2))
+
+
+class TestPeelTemplates:
+    def setup_method(self):
+        sampling._PEEL_TEMPLATES[0] = (0, None)
+
+    def test_templates_grow_and_serve_prefixes(self):
+        assert_templates_consistent(10, _peel_templates(10))
+        # A smaller request is served as views of the cached buffer.
+        small = _peel_templates(4)
+        assert_templates_consistent(4, small)
+        assert small[0].base is not None
+        # The cache did not shrink.
+        assert sampling._PEEL_TEMPLATES[0][0] == 10
+
+    def test_publication_is_a_single_tuple(self):
+        # Regression: the cache used to publish the new size *before* the
+        # new arrays ([size, arrays] updated slot by slot), so a reader
+        # between the two assignments got a large size paired with stale
+        # short arrays — and silently mis-ranked conflict rounds.  The
+        # cell must hold one immutable (size, arrays) tuple, built fully
+        # before a single atomic publication.
+        _peel_templates(16)
+        cell = sampling._PEEL_TEMPLATES[0]
+        assert isinstance(cell, tuple) and len(cell) == 2
+        size, arrays = cell
+        assert arrays[0].shape == (size,)
+
+    def test_concurrent_readers_never_observe_torn_state(self):
+        # Hammer the cache from many threads with interleaved growing and
+        # shrinking requests; every reader must always get arrays of
+        # exactly the requested length with consistent contents.
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            for _ in range(300):
+                total = int(rng.integers(1, 257))
+                try:
+                    templates = _peel_templates(total)
+                    assert_templates_consistent(total, templates)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:1]

@@ -48,6 +48,10 @@ OVERLAYS = {
     "complete": TopologySpec("complete"),
     "random": TopologySpec("random", degree=6),
     "watts-strogatz": TopologySpec("watts-strogatz", degree=6, beta=0.25),
+    # The array-native NEWSCAST overlay supports batched peer selection,
+    # so it takes part in the full bit-level engine-equivalence grid
+    # (tests/test_newscast_vectorized.py adds the overlay-level suite).
+    "newscast-array": TopologySpec("newscast", degree=8, params={"vectorized": True}),
 }
 
 SCENARIOS = {
