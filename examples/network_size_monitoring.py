@@ -3,15 +3,19 @@
 
 A constant-size but continuously churning network (nodes crash and are
 replaced every cycle) runs the COUNT protocol on top of a NEWSCAST
-overlay.  Two variants are compared, exactly as Section 7.3 of the paper
-suggests:
+overlay.  Two experiments are shown:
 
-* a single COUNT instance (one leader, one peak value), and
-* 20 concurrent instances whose outputs every node combines with the
-  trimmed mean.
-
-The multi-instance variant reports far tighter size estimates under the
-same failure load.
+1. One epoch, exactly as Section 7.3 of the paper suggests: a single
+   COUNT instance (one leader, one peak value) versus 20 concurrent
+   instances whose outputs every node combines with the trimmed mean.
+   The multi-instance variant reports far tighter size estimates under
+   the same failure load.
+2. The full *practical protocol* (Sections 4.1/4.3/5): consecutive
+   epochs with multi-leader self-election at ``P_lead = C/N̂``, epidemic
+   epoch synchronisation of churned-in nodes, trimmed-mean reduction at
+   every epoch end, and the estimate fed back into the next election.
+   The run starts from a deliberately wrong size estimate and corrects
+   itself within the first epochs — all on the vectorised fast path.
 
 Run with:  python examples/network_size_monitoring.py
 """
@@ -21,7 +25,9 @@ from __future__ import annotations
 import math
 
 from repro import RandomSource
+from repro.core.epoch import EpochConfig
 from repro.core.instances import MultiInstanceCount
+from repro.experiments.runner import run_epoched_count
 from repro.simulator.cycle_sim import CycleSimulator
 from repro.simulator.failures import ChurnModel
 from repro.simulator.transport import TransportModel
@@ -61,6 +67,38 @@ def run_count(instances: int, seed: int) -> dict:
     }
 
 
+def run_adaptive(epochs: int = 6, seed: int = 7) -> None:
+    """The practical protocol: multi-epoch adaptive COUNT on the fast path."""
+    initial_guess = NETWORK_SIZE // 4
+    result = run_epoched_count(
+        TopologySpec("newscast", degree=30, params={"vectorized": True}),
+        NETWORK_SIZE,
+        epochs,
+        RandomSource(seed),
+        concurrent_target=10.0,
+        initial_estimate=initial_guess,
+        epoch_config=EpochConfig(cycles_per_epoch=20),
+        transport=TransportModel(message_loss_probability=MESSAGE_LOSS),
+        failure_factory=lambda epoch_id: ChurnModel(CHURN_PER_CYCLE),
+    )
+    print(
+        f"\nAdaptive monitoring: starting from the wrong guess N^ = {initial_guess}, "
+        f"{epochs} epochs of 20 cycles, ~10 concurrent leaders\n"
+    )
+    print(f"{'epoch':>5}  {'leaders':>7}  {'P_lead':>8}  {'estimate':>10}  {'rel. error':>10}  {'joined':>6}")
+    for record in result.records:
+        error = abs(record.size_estimate - NETWORK_SIZE) / NETWORK_SIZE
+        print(
+            f"{record.epoch_id:>5}  {record.leader_count:>7}  {record.lead_probability:>8.3f}  "
+            f"{record.size_estimate:>10.1f}  {error:>9.1%}  {record.joined_count:>6}"
+        )
+    print(
+        "\nThe first election uses the wrong estimate (too many leaders); the "
+        "epoch's own COUNT output feeds the next election, so P_lead settles at "
+        "C/N and the estimate tracks the true size despite churn and loss."
+    )
+
+
 def main() -> None:
     print(
         f"COUNT over a churning network: true size {NETWORK_SIZE}, "
@@ -80,6 +118,7 @@ def main() -> None:
         "node's size estimate close to the truth even under continuous churn, "
         "matching Figure 8 of the paper."
     )
+    run_adaptive()
 
 
 if __name__ == "__main__":

@@ -20,8 +20,10 @@ from .core import (
     AggregationNode,
     AggregationResult,
     AverageFunction,
+    CountArrayFunction,
     CountMapFunction,
     EpochConfig,
+    LeaderElection,
     GeometricMeanFunction,
     KNOWN_AGGREGATES,
     MaxFunction,
@@ -41,6 +43,8 @@ from .simulator import (
     ChurnModel,
     CountCrashModel,
     CycleSimulator,
+    EpochDriver,
+    EpochedRunResult,
     EventDrivenNetwork,
     NoFailures,
     ProportionalCrashModel,
@@ -67,6 +71,8 @@ __all__ = [
     "PushSumFunction",
     "VectorFunction",
     "CountMapFunction",
+    "CountArrayFunction",
+    "LeaderElection",
     "MeanAggregate",
     "NetworkSizeAggregate",
     "SumAggregate",
@@ -78,6 +84,8 @@ __all__ = [
     "NewscastOverlay",
     "CycleSimulator",
     "VectorizedCycleSimulator",
+    "EpochDriver",
+    "EpochedRunResult",
     "make_simulator",
     "supports_fast_path",
     "EventDrivenNetwork",

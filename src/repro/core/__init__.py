@@ -1,9 +1,12 @@
 """The paper's core contribution: robust proactive epidemic aggregation."""
 
 from .count import (
+    CountArrayFunction,
     CountMapFunction,
     LeaderElection,
     count_estimate_from_map,
+    count_estimates_from_matrix,
+    encode_count_maps,
     network_size_from_estimate,
     peak_initial_values,
 )
@@ -49,10 +52,13 @@ __all__ = [
     "PushSumFunction",
     "VectorFunction",
     "CountMapFunction",
+    "CountArrayFunction",
     "LeaderElection",
     "peak_initial_values",
     "network_size_from_estimate",
     "count_estimate_from_map",
+    "count_estimates_from_matrix",
+    "encode_count_maps",
     "DerivedAggregate",
     "MeanAggregate",
     "NetworkSizeAggregate",

@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..common.errors import ConfigurationError, ProtocolError
 from ..common.rng import RandomSource
 from ..common.validation import require_positive, require_probability
@@ -34,8 +36,11 @@ __all__ = [
     "peak_initial_values",
     "network_size_from_estimate",
     "CountMapFunction",
+    "CountArrayFunction",
     "LeaderElection",
     "count_estimate_from_map",
+    "count_estimates_from_matrix",
+    "encode_count_maps",
 ]
 
 
@@ -166,6 +171,225 @@ def count_estimate_from_map(
 
 
 # ----------------------------------------------------------------------
+# Array codec for the map-based COUNT (fast-path form of Section 5)
+# ----------------------------------------------------------------------
+class CountArrayFunction(CountMapFunction):
+    """Map-based COUNT with an array codec over a *fixed* leader universe.
+
+    Within one epoch the set of self-elected leaders never changes, so a
+    node's map is fully described by one value and one presence flag per
+    leader: the state row is ``[values(L), mask(L)]`` with absent entries
+    holding exactly ``0.0``.  Because the paper's merge treats a missing
+    key as the value 0, the whole merge rule collapses to two elementwise
+    expressions — ``(v_i + v_r) / 2`` and ``max(m_i, m_r)`` — that are
+    bit-identical to the dict merge of :class:`CountMapFunction` (in
+    IEEE-754 float64, ``(v + 0.0) / 2.0 == v / 2.0`` exactly).  The same
+    class therefore runs as dict states on the reference engine and as a
+    dense ``(nodes, 2L)`` block on the vectorised engine, producing the
+    same per-node maps from the same seed.
+
+    Initial values are *leader identifiers*: a node whose local value is
+    the id of one of the known leaders starts with ``{id: 1.0}``; any
+    negative value (conventionally ``-1``) means "not a leader" and
+    yields the empty map.
+    """
+
+    name = "count-map-array"
+
+    def __init__(self, leaders: Sequence[int]) -> None:
+        unique = sorted({int(leader) for leader in leaders})
+        if not unique:
+            raise ConfigurationError(
+                "CountArrayFunction needs at least one leader; a zero-leader "
+                "(dry) epoch carries no COUNT state to encode"
+            )
+        self._leaders: Tuple[int, ...] = tuple(unique)
+        self._leader_array = np.asarray(unique, dtype=np.int64)
+        self._slot_of: Dict[int, int] = {leader: slot for slot, leader in enumerate(unique)}
+
+    @property
+    def leaders(self) -> Tuple[int, ...]:
+        """The fixed leader universe, in slot order (sorted ids)."""
+        return self._leaders
+
+    def _slot(self, leader: int) -> int:
+        try:
+            return self._slot_of[leader]
+        except KeyError as exc:
+            raise ProtocolError(
+                f"leader {leader} is not in this epoch's universe {self._leaders}"
+            ) from exc
+
+    def initial_state(self, local_value) -> Dict[int, float]:
+        """Like :meth:`CountMapFunction.initial_state`, plus the ``-1`` sentinel.
+
+        Numbers below zero mean "not a leader" (the array-side encoding);
+        leader identifiers and explicit mappings must stay inside the
+        fixed universe.
+        """
+        if isinstance(local_value, (int, float)) and not isinstance(local_value, bool):
+            if local_value < 0:
+                return {}
+            return {self._leaders[self._slot(int(local_value))]: 1.0}
+        state = super().initial_state(local_value)
+        for leader in state:
+            self._slot(leader)
+        return state
+
+    # ------------------------------------------------------------------
+    # Array codec
+    # ------------------------------------------------------------------
+    def supports_vectorized(self) -> bool:
+        return True
+
+    def state_width(self) -> int:
+        return 2 * len(self._leaders)
+
+    def initial_state_array(self, values: np.ndarray) -> np.ndarray:
+        flat = np.asarray(values, dtype=np.float64).reshape(-1)
+        width = len(self._leaders)
+        states = np.zeros((flat.size, 2 * width), dtype=np.float64)
+        rows = np.flatnonzero(flat >= 0)
+        if rows.size:
+            ids = flat[rows].astype(np.int64)
+            slots = np.searchsorted(self._leader_array, ids)
+            bad = (slots >= width) | (self._leader_array[np.minimum(slots, width - 1)] != ids)
+            if np.any(bad):
+                raise ProtocolError(
+                    f"leader {int(ids[np.flatnonzero(bad)[0]])} is not in this "
+                    f"epoch's universe {self._leaders}"
+                )
+            states[rows, slots] = 1.0
+            states[rows, width + slots] = 1.0
+        return states
+
+    def merge_arrays(
+        self, initiator_states: np.ndarray, responder_states: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        width = len(self._leaders)
+        merged = np.empty_like(initiator_states)
+        # Absent values hold exactly 0.0, so the shared-key average and the
+        # one-sided halving are the same expression (the dict merge's two
+        # branches compute (a+b)/2 and a/2 == (a+0.0)/2).
+        merged[:, :width] = (initiator_states[:, :width] + responder_states[:, :width]) / 2.0
+        merged[:, width:] = np.maximum(initiator_states[:, width:], responder_states[:, width:])
+        return merged, merged
+
+    def estimate_array(self, states: np.ndarray) -> np.ndarray:
+        width = len(self._leaders)
+        counts = states[:, width:].sum(axis=1)
+        sums = states[:, :width].sum(axis=1)
+        return np.divide(
+            sums,
+            counts,
+            out=np.full(states.shape[0], np.nan),
+            where=counts > 0,
+        )
+
+    def encode_state(self, state: Mapping[int, float]) -> np.ndarray:
+        width = len(self._leaders)
+        row = np.zeros(2 * width, dtype=np.float64)
+        for leader, value in state.items():
+            slot = self._slot(int(leader))
+            row[slot] = float(value)
+            row[width + slot] = 1.0
+        return row
+
+    def decode_state(self, row: np.ndarray) -> Dict[int, float]:
+        width = len(self._leaders)
+        return {
+            self._leaders[slot]: float(row[slot])
+            for slot in np.flatnonzero(row[width:] != 0.0)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CountArrayFunction(leaders={len(self._leaders)})"
+
+
+def encode_count_maps(
+    maps: Sequence[Mapping[int, float]], leaders: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode dict COUNT maps into ``(values, mask)`` matrices.
+
+    The columns follow the slot order of :class:`CountArrayFunction`
+    (sorted leader ids); absent entries hold value 0 and mask 0.  This is
+    how the reference epoch driver brings its dict states into the shared
+    batched reduction of :func:`count_estimates_from_matrix`.
+    """
+    codec = CountArrayFunction(leaders)
+    width = len(codec.leaders)
+    block = np.zeros((len(maps), 2 * width), dtype=np.float64)
+    for row, state in enumerate(maps):
+        block[row] = codec.encode_state(state)
+    return block[:, :width], block[:, width:]
+
+
+def count_estimates_from_matrix(
+    values: np.ndarray, mask: np.ndarray, discard_fraction: float = 0.0
+) -> np.ndarray:
+    """Batched :func:`count_estimate_from_map` over ``(nodes, leaders)`` blocks.
+
+    ``values`` and ``mask`` are aligned matrices (mask non-zero where the
+    node's map holds that leader's entry).  Returns one size estimate per
+    row, reproducing the scalar reduction's semantics exactly: per-entry
+    sizes ``1/value`` (``inf`` for non-positive values), symmetric trim of
+    ``int(map_size * discard_fraction)`` entries from each end, fall back
+    to the untrimmed entries when the trim would discard everything, and
+    ``inf`` for rows whose kept entries are all non-finite (including
+    empty maps).
+
+    The per-row arithmetic mean uses one :func:`numpy.sum` pass, so
+    results can differ from the scalar reduction in the last few ulps
+    (floating-point summation order); both epoch drivers consume *this*
+    helper, which is what makes their per-epoch estimates bit-identical
+    to each other.
+    """
+    require_probability(discard_fraction, "discard_fraction")
+    values = np.asarray(values, dtype=np.float64)
+    mask = np.asarray(mask, dtype=bool)
+    rows, width = values.shape
+    if width == 0:
+        return np.full(rows, math.inf)
+    # Present entries map to their size estimate (inf when value <= 0);
+    # absent entries become NaN, which numpy sorts past +inf — so every
+    # sorted row reads [finite ascending..., inf..., NaN...], exactly the
+    # scalar reduction's sorted map followed by padding.
+    sizes = np.full((rows, width), np.nan)
+    positive = mask & (values > 0.0)
+    # Denormal-tiny values overflow to inf, exactly like the scalar
+    # reduction's 1.0/value — silence only that warning.
+    with np.errstate(over="ignore"):
+        np.divide(1.0, values, out=sizes, where=positive)
+    sizes[mask & ~positive] = np.inf
+    sizes.sort(axis=1)
+
+    map_sizes = mask.sum(axis=1)
+    drop = (map_sizes * discard_fraction).astype(np.int64)
+    low = drop
+    high = map_sizes - drop
+    # ``kept = estimates[drop:-drop] or estimates``: an empty trim window
+    # falls back to the whole map.
+    empty_window = high <= low
+    low = np.where(empty_window, 0, low)
+    high = np.where(empty_window, map_sizes, high)
+
+    columns = np.arange(width)
+    kept = (
+        (columns >= low[:, None])
+        & (columns < high[:, None])
+        & np.isfinite(sizes)
+    )
+    counts = kept.sum(axis=1)
+    totals = np.where(kept, sizes, 0.0).sum(axis=1)
+    return np.divide(
+        totals,
+        counts,
+        out=np.full(rows, math.inf),
+        where=counts > 0,
+    )
+
+
+# ----------------------------------------------------------------------
 # Leader election (Section 5, "Plead = C / N̂")
 # ----------------------------------------------------------------------
 @dataclass
@@ -203,6 +427,24 @@ class LeaderElection:
         """Return the identifiers that elected themselves for this epoch."""
         probability = self.lead_probability
         return [node for node in node_ids if rng.bernoulli(probability)]
+
+    def elect_batch(self, node_ids: Sequence[int], rng: RandomSource) -> np.ndarray:
+        """Batched :meth:`elect`: one vectorised draw for the whole id list.
+
+        ``Generator.random(n)`` consumes the underlying bit stream exactly
+        like ``n`` scalar ``random()`` calls, so this returns the *same*
+        leader set as :meth:`elect` from the same stream state (asserted
+        by the test suite); it is simply O(1) generator calls instead of
+        O(N).  Like ``bernoulli``, degenerate probabilities consume no
+        randomness.
+        """
+        ids = np.asarray(node_ids, dtype=np.int64)
+        probability = self.lead_probability
+        if probability <= 0.0:
+            return ids[:0]
+        if probability >= 1.0:
+            return ids.copy()
+        return ids[rng.generator.random(ids.size) < probability]
 
     def initial_maps(
         self, node_ids: Sequence[int], rng: RandomSource

@@ -19,11 +19,13 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..common.errors import ConfigurationError
 from ..common.rng import RandomSource
 from ..common.validation import require_positive
 from ..analysis.statistics import trimmed_mean
-from .count import network_size_from_estimate
+from .count import count_estimates_from_matrix, network_size_from_estimate
 from .functions import AverageFunction, VectorFunction
 
 __all__ = [
@@ -135,3 +137,26 @@ class MultiInstanceCount:
     def size_estimates(self, states: Dict[int, Tuple[float, ...]]) -> Dict[int, float]:
         """Per-node size estimates for a whole population of states."""
         return {node: self.node_size_estimate(state) for node, state in states.items()}
+
+    def size_estimates_array(self, state_block: np.ndarray) -> np.ndarray:
+        """Batched trimmed-mean reduction over a ``(nodes, t)`` state block.
+
+        ``state_block`` is the raw array the vectorised engine holds for a
+        t-instance COUNT run (``state_array()``), one AVERAGE column per
+        instance.  Every instance is present at every node, so this is
+        :func:`~repro.core.count.count_estimates_from_matrix` with a full
+        mask; results match :meth:`size_estimates` up to floating-point
+        summation order — including the validation: fractions at or above
+        0.5 are rejected exactly as ``trimmed_mean`` rejects them on the
+        scalar path.
+        """
+        if self.discard_fraction >= 0.5:
+            raise ConfigurationError("discard_fraction must be below 0.5")
+        block = np.asarray(state_block, dtype=np.float64)
+        if block.ndim != 2 or block.shape[1] != self.instance_count:
+            raise ConfigurationError(
+                f"expected a (nodes, {self.instance_count}) state block, "
+                f"got shape {block.shape}"
+            )
+        mask = np.ones_like(block, dtype=bool)
+        return count_estimates_from_matrix(block, mask, self.discard_fraction)

@@ -4,19 +4,21 @@ Every figure-reproduction in :mod:`repro.experiments.figures` accepts an
 :class:`ExperimentScale` that controls how big and how statistically heavy
 the runs are.  The paper's experiments use 10^5 nodes (up to 10^6 for the
 size sweep) and 50 repetitions per data point; a pure-Python simulator
-cannot sweep a dozen scenarios at that size in CI-friendly time, so three
+cannot sweep a dozen scenarios at that size in CI-friendly time, so four
 presets are provided:
 
 * ``SMOKE`` — a few hundred nodes, a couple of repetitions; used by the
   test suite and the benchmark harness defaults.
+* ``BENCH`` — the benchmark harness preset (what CI exports), slightly
+  larger than smoke so figure shapes are meaningful.
 * ``DEFAULT`` — low thousands of nodes, enough repetitions for the shapes
   of every figure to be recognisable; what the examples use.
 * ``PAPER`` — the paper's parameters (10^5 nodes, 50 repetitions); runs
   for a long time but exercises exactly the published setting.
 
 The preset can be chosen globally through the ``REPRO_SCALE`` environment
-variable (``smoke`` / ``default`` / ``paper``) so benchmark runs can be
-scaled without touching code.
+variable (``smoke`` / ``bench`` / ``default`` / ``paper``) so benchmark
+runs can be scaled without touching code.
 """
 
 from __future__ import annotations
@@ -28,7 +30,14 @@ from typing import Optional
 from ..common.errors import ConfigurationError
 from ..common.validation import require_positive
 
-__all__ = ["ExperimentScale", "SMOKE", "DEFAULT", "PAPER", "scale_from_environment"]
+__all__ = [
+    "ExperimentScale",
+    "SMOKE",
+    "BENCH",
+    "DEFAULT",
+    "PAPER",
+    "scale_from_environment",
+]
 
 
 @dataclass(frozen=True)
@@ -79,13 +88,18 @@ class ExperimentScale:
 #: Tiny runs for tests and benchmark smoke checks.
 SMOKE = ExperimentScale(name="smoke", network_size=300, repeats=3, sweep_points=4)
 
+#: Small-but-meaningful runs used by the benchmark harness (and by CI,
+#: which exports ``REPRO_SCALE=bench``); matches the benchmark conftest's
+#: default so the environment override round-trips.
+BENCH = ExperimentScale(name="bench", network_size=400, repeats=3, sweep_points=4)
+
 #: The default used by examples: recognisable shapes in minutes.
 DEFAULT = ExperimentScale(name="default", network_size=2000, repeats=10, sweep_points=7)
 
 #: The paper's own parameters (very slow in pure Python).
 PAPER = ExperimentScale(name="paper", network_size=100_000, repeats=50, sweep_points=10)
 
-_PRESETS = {"smoke": SMOKE, "default": DEFAULT, "paper": PAPER}
+_PRESETS = {"smoke": SMOKE, "bench": BENCH, "default": DEFAULT, "paper": PAPER}
 
 
 def scale_from_environment(default: ExperimentScale = SMOKE) -> ExperimentScale:

@@ -47,6 +47,7 @@ from ..analysis.theory import (
 )
 from ..common.rng import RandomSource
 from ..core.count import network_size_from_estimate
+from ..core.epoch import EpochConfig
 from ..core.functions import AverageFunction
 from ..core.instances import MultiInstanceCount
 from ..simulator import make_simulator
@@ -67,6 +68,7 @@ from .runner import (
     repeat_simulations,
     repeat_traces,
     run_average_once,
+    run_epoched_count,
     uniform_initial_values,
 )
 
@@ -85,6 +87,7 @@ __all__ = [
     "figure7b_message_loss",
     "figure8a_instances_under_churn",
     "figure8b_instances_under_loss",
+    "adaptive_count_epochs",
     "cost_analysis",
     "ALL_FIGURES",
 ]
@@ -741,6 +744,91 @@ def figure8b_instances_under_loss(
 
 
 # ----------------------------------------------------------------------
+# Sections 4.1/4.3/5 — the practical protocol: adaptive epoched COUNT
+# ----------------------------------------------------------------------
+def adaptive_count_epochs(
+    scale: ExperimentScale = DEFAULT,
+    epochs: int = 10,
+    cycles_per_epoch: int = 30,
+    concurrent_target: float = 20.0,
+    churn_fraction_per_cycle: float = 0.005,
+    message_loss: float = 0.05,
+    initial_estimate_factor: float = 0.25,
+) -> FigureResult:
+    """The size-monitoring scenario the paper is named for, end to end.
+
+    A NEWSCAST network under continuous churn and message loss runs the
+    practical protocol for ``epochs`` consecutive epochs: per-epoch
+    multi-leader self-election at ``P_lead = C/N̂``, γ cycles of map-based
+    COUNT, trimmed-mean reduction, and the estimate fed back into the
+    next election.  The election is seeded with a deliberately wrong size
+    (``initial_estimate_factor`` times the truth), so the rows show the
+    feedback loop pulling ``N̂`` — and with it the number of concurrent
+    leaders — back to the true size within the first epochs.
+
+    The paper has no single figure for this composite run (it is the
+    protocol of Sections 4.1/4.3/5 with the technique of 7.3); the rows
+    report, per epoch, the mean/min/max adopted estimate over the
+    repetitions, the average leader count, and the churn-driven
+    synchronisation events.
+    """
+    size = scale.network_size
+    spec = _newscast_spec(size)
+    churn = max(1, int(round(churn_fraction_per_cycle * size)))
+    transport = TransportModel(message_loss_probability=float(message_loss))
+    config = EpochConfig(cycles_per_epoch=cycles_per_epoch)
+
+    def one_run(index: int, rng: RandomSource):
+        result = run_epoched_count(
+            spec,
+            size,
+            epochs,
+            rng,
+            concurrent_target=concurrent_target,
+            initial_estimate=max(2.0, initial_estimate_factor * size),
+            epoch_config=config,
+            transport=transport,
+            failure_factory=lambda epoch_id: ChurnModel(churn),
+            record_every=cycles_per_epoch,
+        )
+        return result.records
+
+    runs = repeat_simulations(scale.repeats, scale.seed, one_run)
+    rows = []
+    for position in range(epochs):
+        records = [run[position] for run in runs]
+        estimates = [record.size_estimate for record in records]
+        finite = [value for value in estimates if math.isfinite(value)]
+        rows.append(
+            {
+                "epoch": records[0].epoch_id,
+                "mean_estimated_size": float(np.mean(finite)) if finite else math.inf,
+                "min_estimated_size": float(np.min(finite)) if finite else math.inf,
+                "max_estimated_size": float(np.max(finite)) if finite else math.inf,
+                "mean_leaders": float(np.mean([record.leader_count for record in records])),
+                "mean_joined": float(np.mean([record.joined_count for record in records])),
+                "dry_runs": sum(record.dry for record in records),
+                "true_size": size,
+            }
+        )
+    return FigureResult(
+        figure_id="adaptive",
+        title="Adaptive multi-epoch COUNT under churn and message loss (practical protocol)",
+        rows=rows,
+        parameters={
+            "network_size": size,
+            "epochs": epochs,
+            "cycles_per_epoch": cycles_per_epoch,
+            "concurrent_target": concurrent_target,
+            "churn_per_cycle": churn,
+            "message_loss": message_loss,
+            "initial_estimate_factor": initial_estimate_factor,
+            "repeats": scale.repeats,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
 # Section 4.5 — cost analysis
 # ----------------------------------------------------------------------
 def cost_analysis(
@@ -807,5 +895,6 @@ ALL_FIGURES = {
     "7b": figure7b_message_loss,
     "8a": figure8a_instances_under_churn,
     "8b": figure8b_instances_under_loss,
+    "adaptive": adaptive_count_epochs,
     "cost": cost_analysis,
 }

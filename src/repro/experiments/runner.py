@@ -17,9 +17,11 @@ from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from ..common.errors import ConfigurationError
 from ..common.rng import RandomSource, derive_seed
+from ..core.count import LeaderElection, peak_initial_values
+from ..core.epoch import EpochConfig
 from ..core.functions import AggregationFunction, AverageFunction
-from ..core.count import peak_initial_values
 from ..simulator import make_simulator
+from ..simulator.epochs import EpochDriver, EpochedRunResult, FailureFactory
 from ..simulator.failures import FailureModel
 from ..simulator.metrics import SimulationTrace
 from ..simulator.transport import PERFECT_TRANSPORT, TransportModel
@@ -29,6 +31,7 @@ __all__ = [
     "uniform_initial_values",
     "peak_values_for_count",
     "run_average_once",
+    "run_epoched_count",
     "repeat_traces",
     "repeat_simulations",
 ]
@@ -79,6 +82,54 @@ def run_average_once(
     )
     simulator.run(cycles)
     return simulator
+
+
+def run_epoched_count(
+    topology: TopologySpec,
+    size: int,
+    epochs: int,
+    rng: RandomSource,
+    concurrent_target: float = 20.0,
+    initial_estimate: Optional[float] = None,
+    epoch_config: Optional[EpochConfig] = None,
+    transport: TransportModel = PERFECT_TRANSPORT,
+    failure_factory: FailureFactory = None,
+    discard_fraction: float = 1.0 / 3.0,
+    engine: str = "auto",
+    record_every: int = 1,
+    keep_cycle_traces: bool = False,
+) -> EpochedRunResult:
+    """Run the full practical protocol: adaptive multi-epoch COUNT.
+
+    Builds the overlay, seeds a :class:`~repro.core.count.LeaderElection`
+    with ``initial_estimate`` (default: the true size — pass a wrong
+    value to watch the feedback loop correct it), and drives ``epochs``
+    epochs through an :class:`~repro.simulator.epochs.EpochDriver`.  The
+    returned :class:`~repro.simulator.epochs.EpochedRunResult` carries
+    per-epoch size estimates, leader counts and synchronisation events.
+
+    Like :func:`run_average_once`, the engine is selected automatically:
+    overlays with batched peer selection (including array-native
+    NEWSCAST) run every epoch on the vectorised fast path.
+    """
+    overlay = build_overlay(topology, size, rng.child("topology"))
+    election = LeaderElection(
+        concurrent_target=concurrent_target,
+        estimated_size=float(initial_estimate if initial_estimate is not None else size),
+    )
+    driver = EpochDriver(
+        overlay=overlay,
+        election=election,
+        epoch_config=epoch_config or EpochConfig(),
+        rng=rng.child("epochs"),
+        transport=transport,
+        failure_factory=failure_factory,
+        discard_fraction=discard_fraction,
+        engine=engine,
+        record_every=record_every,
+        keep_cycle_traces=keep_cycle_traces,
+    )
+    return driver.run(epochs)
 
 
 def _run_one(make_run: Callable[[int, RandomSource], T], seed: int, index: int) -> T:

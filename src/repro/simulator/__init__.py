@@ -15,6 +15,12 @@ from ..core.functions import AggregationFunction
 from ..topology.base import OverlayProvider
 from .cycle_sim import CycleSimulator, InitialValues
 from .engine import EventHandle, EventScheduler
+from .epochs import (
+    EpochDriver,
+    EpochRecord,
+    EpochedRunResult,
+    epoch_config_for_accuracy,
+)
 from .event_sim import EventDrivenNetwork, Message, SimulatedProcess
 from .failures import (
     ChurnModel,
@@ -44,6 +50,10 @@ from .vectorized import VectorizedCycleSimulator
 __all__ = [
     "CycleSimulator",
     "VectorizedCycleSimulator",
+    "EpochDriver",
+    "EpochRecord",
+    "EpochedRunResult",
+    "epoch_config_for_accuracy",
     "make_simulator",
     "supports_fast_path",
     "EventScheduler",

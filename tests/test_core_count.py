@@ -3,6 +3,8 @@
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.common.errors import ConfigurationError, ProtocolError
 from repro.common.rng import RandomSource
@@ -12,6 +14,13 @@ from repro.core.count import (
     count_estimate_from_map,
     network_size_from_estimate,
     peak_initial_values,
+)
+
+#: Random COUNT maps: small leader universes with non-negative estimates.
+count_maps = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=30),
+    values=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    max_size=10,
 )
 
 
@@ -100,6 +109,39 @@ class TestCountMapFunction:
         assert CountMapFunction().conserved_quantity(states) == 2.0
 
 
+class TestCountMapMergeProperties:
+    """Hypothesis properties of the paper's map-merge rule (Section 5)."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(state_a=count_maps, state_b=count_maps)
+    def test_merge_conserves_total_mass(self, state_a, state_b):
+        merged_a, merged_b = CountMapFunction().merge(state_a, state_b)
+        before = sum(state_a.values()) + sum(state_b.values())
+        after = sum(merged_a.values()) + sum(merged_b.values())
+        assert after == pytest.approx(before, rel=1e-12, abs=1e-12)
+
+    @settings(max_examples=80, deadline=None)
+    @given(state_a=count_maps, state_b=count_maps)
+    def test_both_peers_install_equal_independent_maps(self, state_a, state_b):
+        merged_a, merged_b = CountMapFunction().merge(state_a, state_b)
+        assert merged_a == merged_b
+        assert merged_a is not merged_b  # independent copies, no aliasing
+        assert set(merged_a) == set(state_a) | set(state_b)
+
+    @settings(max_examples=80, deadline=None)
+    @given(state_a=count_maps, state_b=count_maps)
+    def test_merge_is_symmetric(self, state_a, state_b):
+        forward, _ = CountMapFunction().merge(state_a, state_b)
+        backward, _ = CountMapFunction().merge(state_b, state_a)
+        assert forward == backward
+
+    @settings(max_examples=60, deadline=None)
+    @given(state=count_maps)
+    def test_merging_equal_maps_is_identity(self, state):
+        merged, _ = CountMapFunction().merge(state, dict(state))
+        assert merged == pytest.approx(state)
+
+
 class TestCountEstimateFromMap:
     def test_empty_map_gives_infinity(self):
         assert count_estimate_from_map({}) == math.inf
@@ -111,6 +153,45 @@ class TestCountEstimateFromMap:
         state = {1: 1e-9, 2: 0.01, 3: 0.01, 4: 0.01, 5: 0.5, 6: 0.01}
         trimmed = count_estimate_from_map(state, discard_fraction=1.0 / 3.0)
         assert trimmed == pytest.approx(100.0, rel=0.05)
+
+    def test_heavy_discard_fraction_keeps_fallback(self):
+        # discard_fraction >= 0.5 would trim away every entry; the scalar
+        # reduction falls back to the untrimmed map instead of failing.
+        state = {1: 0.01, 2: 0.02}
+        assert count_estimate_from_map(state, discard_fraction=0.5) == pytest.approx(75.0)
+        assert count_estimate_from_map(state, discard_fraction=0.9) == pytest.approx(75.0)
+        assert count_estimate_from_map({7: 0.1}, discard_fraction=1.0) == pytest.approx(10.0)
+
+    def test_all_infinite_entries_give_infinity(self):
+        # Entries whose averaging mass vanished estimate an infinite size;
+        # if nothing finite remains, the node reports inf.
+        assert count_estimate_from_map({1: 0.0, 2: 0.0}) == math.inf
+        assert count_estimate_from_map({1: 0.0}, discard_fraction=1.0 / 3.0) == math.inf
+
+    def test_infinite_entries_are_trimmed_first(self):
+        state = {1: 0.0, 2: 0.01, 3: 0.01, 4: 0.01, 5: 0.01, 6: 1.0}
+        trimmed = count_estimate_from_map(state, discard_fraction=1.0 / 3.0)
+        assert trimmed == pytest.approx(100.0, rel=0.05)
+
+    def test_invalid_discard_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            count_estimate_from_map({1: 0.1}, discard_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            count_estimate_from_map({1: 0.1}, discard_fraction=1.5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(state=count_maps, fraction=st.sampled_from([0.0, 0.25, 1.0 / 3.0, 0.49]))
+    def test_estimate_bounded_by_per_entry_extremes(self, state, fraction):
+        estimate = count_estimate_from_map(state, discard_fraction=fraction)
+        sizes = [network_size_from_estimate(value) for value in state.values()]
+        finite = [size for size in sizes if math.isfinite(size)]
+        if not finite:
+            assert estimate == math.inf
+        elif math.isfinite(estimate):
+            # Relative slack: per-entry sizes can reach ~1e308 (tiny map
+            # values), where the mean can round a few ulps past the
+            # extremes — an absolute epsilon would flake there.
+            assert min(finite) * (1 - 1e-12) <= estimate <= max(finite) * (1 + 1e-12)
 
 
 class TestLeaderElection:

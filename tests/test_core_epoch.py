@@ -1,5 +1,7 @@
 """Tests for epoch configuration, tracking and synchronisation rules."""
 
+import math
+
 import pytest
 
 from repro.common.errors import ConfigurationError
@@ -41,6 +43,25 @@ class TestEpochConfig:
     def test_epoch_for_time(self):
         config = EpochConfig(cycle_length=1.0, cycles_per_epoch=10)
         assert config.epoch_for_time(25.0) == 2
+
+    def test_epoch_for_time_at_exact_boundaries(self):
+        # A boundary instant belongs to the epoch that *starts* there:
+        # epoch k spans [k·Δ, (k+1)·Δ).
+        config = EpochConfig(cycle_length=1.0, cycles_per_epoch=10)
+        assert config.epoch_for_time(0.0) == 0
+        assert config.epoch_for_time(10.0) == 1
+        assert config.epoch_for_time(20.0) == 2
+        # Just below a boundary still belongs to the finishing epoch.
+        assert config.epoch_for_time(math.nextafter(10.0, 0.0)) == 0
+        # Round-trip with the nominal start times.
+        for epoch in range(5):
+            assert config.epoch_for_time(config.epoch_start_time(epoch)) == epoch
+
+    def test_epoch_for_time_with_explicit_epoch_length(self):
+        config = EpochConfig(cycle_length=1.0, cycles_per_epoch=10, epoch_length=4.0)
+        assert config.epoch_for_time(3.999) == 0
+        assert config.epoch_for_time(4.0) == 1
+        assert config.epoch_for_time(8.0) == 2
 
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -113,3 +134,49 @@ class TestEpochTracker:
         tracker.start_epoch(1)
         tracker.finish_epoch(2.0)
         assert tracker.latest_result() == 2.0
+
+    def test_observe_multi_epoch_jump_resets_counter_once(self):
+        # A node hearing about epoch 5 mid-cycle abandons its work and
+        # resets the cycle counter; hearing 5 again later in the same
+        # cycle is a no-op and must NOT reset the progress made since.
+        tracker = self.make_tracker()
+        tracker.complete_cycle()
+        tracker.complete_cycle()
+        assert tracker.observe_epoch(5)
+        assert tracker.current_epoch == 5
+        assert tracker.cycles_completed == 0
+        tracker.complete_cycle()
+        assert not tracker.observe_epoch(5)
+        assert tracker.cycles_completed == 1  # progress preserved
+
+    def test_start_epoch_same_epoch_allowed_backwards_rejected(self):
+        tracker = self.make_tracker()
+        tracker.start_epoch(3)
+        tracker.complete_cycle()
+        # Restarting the current epoch is legal (a local restart) and
+        # resets the counter; moving backwards is not.
+        tracker.start_epoch(3)
+        assert tracker.cycles_completed == 0
+        with pytest.raises(ConfigurationError):
+            tracker.start_epoch(2)
+        assert tracker.current_epoch == 3  # rejection left state intact
+
+    def test_finish_epoch_drops_non_finite_without_corrupting_latest(self):
+        tracker = self.make_tracker()
+        tracker.finish_epoch(42.0)
+        assert tracker.latest_result() == 42.0
+        tracker.start_epoch(1)
+        tracker.finish_epoch(math.nan)
+        tracker.start_epoch(2)
+        tracker.finish_epoch(math.inf)
+        tracker.start_epoch(3)
+        tracker.finish_epoch(-math.inf)
+        tracker.start_epoch(4)
+        tracker.finish_epoch(None)
+        # None of the bad epochs were recorded, and the newest valid
+        # result still wins.
+        assert tracker.completed_results == {0: 42.0}
+        assert tracker.latest_result() == 42.0
+        tracker.finish_epoch(7.0)
+        assert tracker.latest_result() == 7.0
+        assert tracker.completed_results == {0: 42.0, 4: 7.0}

@@ -1,0 +1,474 @@
+"""Epoch-orchestration subsystem: engine equivalence and properties.
+
+The :class:`~repro.simulator.epochs.EpochDriver` runs the full practical
+protocol (election → γ COUNT cycles → trimmed reduction → feedback) on
+either cycle engine.  Both drivers consume the same child rng streams and
+the dict/array COUNT merges are bit-identical, so from one seed the two
+drivers must produce *identical* per-epoch traces — asserted here over a
+grid of overlays and failure scenarios, alongside property tests for the
+COUNT array kernel, the batched reduction, the batched election, and the
+zero-leader regression.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.common.rng import RandomSource
+from repro.core.count import (
+    CountArrayFunction,
+    CountMapFunction,
+    LeaderElection,
+    count_estimate_from_map,
+    count_estimates_from_matrix,
+    encode_count_maps,
+)
+from repro.core.epoch import EpochConfig
+from repro.core.instances import MultiInstanceCount
+from repro.simulator import (
+    CycleSimulator,
+    EpochDriver,
+    VectorizedCycleSimulator,
+    epoch_config_for_accuracy,
+    make_simulator,
+    supports_fast_path,
+)
+from repro.simulator.failures import ChurnModel, ProportionalCrashModel
+from repro.simulator.transport import TransportModel
+from repro.topology import TopologySpec, build_overlay
+
+SIZE = 50
+EPOCHS = 3
+GAMMA = 6
+
+OVERLAYS = {
+    "complete": TopologySpec("complete"),
+    "newscast": TopologySpec("newscast", degree=8, params={"vectorized": True}),
+}
+
+SCENARIOS = {
+    "none": (TransportModel(), None),
+    "crash": (TransportModel(), lambda epoch_id: ProportionalCrashModel(0.05)),
+    "message-loss": (TransportModel(message_loss_probability=0.2), None),
+}
+
+
+def build_driver(
+    engine,
+    overlay_key="complete",
+    scenario_key="none",
+    seed=17,
+    size=SIZE,
+    config=None,
+    concurrent_target=5.0,
+    initial_estimate=None,
+):
+    transport, failure_factory = SCENARIOS[scenario_key]
+    rng = RandomSource(seed)
+    overlay = build_overlay(OVERLAYS[overlay_key], size, rng.child("topology"))
+    election = LeaderElection(
+        concurrent_target=concurrent_target,
+        estimated_size=float(initial_estimate if initial_estimate is not None else size),
+    )
+    return EpochDriver(
+        overlay=overlay,
+        election=election,
+        epoch_config=config or EpochConfig(cycles_per_epoch=GAMMA),
+        rng=rng.child("driver"),
+        transport=transport,
+        failure_factory=failure_factory,
+        engine=engine,
+    )
+
+
+def assert_records_identical(reference, vectorized, label):
+    assert len(reference.records) == len(vectorized.records), label
+    for expected, actual in zip(reference.records, vectorized.records):
+        for field in (
+            "epoch_id",
+            "leader_count",
+            "lead_probability",
+            "participant_count",
+            "joined_count",
+            "advanced_count",
+            "skipped_sync_count",
+            "cycles",
+            "dry",
+            "finite_reporters",
+        ):
+            assert getattr(expected, field) == getattr(actual, field), (
+                f"{label}: {field} diverged at epoch {expected.epoch_id}"
+            )
+        # Bit-identical, not approximately equal: both drivers feed the
+        # same states through the same batched reduction.
+        for field in ("raw_estimate", "size_estimate", "min_estimate", "max_estimate"):
+            expected_value = getattr(expected, field)
+            actual_value = getattr(actual, field)
+            if expected_value is None or (
+                isinstance(expected_value, float) and math.isnan(expected_value)
+            ):
+                assert actual_value is None or math.isnan(actual_value), label
+            else:
+                assert expected_value == actual_value, (
+                    f"{label}: {field} diverged at epoch {expected.epoch_id}"
+                )
+
+
+class TestEpochDriverEquivalence:
+    @pytest.mark.parametrize("overlay_key", sorted(OVERLAYS))
+    @pytest.mark.parametrize("scenario_key", sorted(SCENARIOS))
+    def test_same_seed_same_epoch_trace(self, overlay_key, scenario_key):
+        label = f"{overlay_key}/{scenario_key}"
+        reference = build_driver("reference", overlay_key, scenario_key)
+        vectorized = build_driver("vectorized", overlay_key, scenario_key)
+        assert_records_identical(
+            reference.run(EPOCHS), vectorized.run(EPOCHS), label
+        )
+
+    def test_churn_joiners_sync_identically(self):
+        def run(engine):
+            rng = RandomSource(9)
+            overlay = build_overlay(OVERLAYS["complete"], SIZE, rng.child("topology"))
+            election = LeaderElection(concurrent_target=5.0, estimated_size=float(SIZE))
+            driver = EpochDriver(
+                overlay,
+                election,
+                EpochConfig(cycles_per_epoch=GAMMA),
+                rng.child("driver"),
+                failure_factory=lambda epoch_id: ChurnModel(2),
+                engine=engine,
+            )
+            return driver, driver.run(EPOCHS)
+
+        reference, reference_result = run("reference")
+        vectorized, vectorized_result = run("vectorized")
+        assert_records_identical(reference_result, vectorized_result, "churn")
+        # Every epoch after the first syncs the churned-in nodes.
+        assert all(
+            record.joined_count == 2 * GAMMA
+            for record in vectorized_result.records[1:]
+        )
+        # The per-node epoch bookkeeping agrees across engines too
+        # (EpochTracker objects vs the batched array pass).
+        assert reference.node_epoch_ids() == vectorized.node_epoch_ids()
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_short_epoch_length_skips_identifiers(self, engine):
+        # Δ = γ·δ / 2: the nominal schedule advances two epochs per run,
+        # so the synchronisation pass observes multi-epoch jumps.
+        config = EpochConfig(cycle_length=1.0, cycles_per_epoch=GAMMA, epoch_length=GAMMA / 2)
+        driver = build_driver(engine, config=config)
+        result = driver.run(3)
+        assert [record.epoch_id for record in result.records] == [0, 2, 4]
+        assert all(
+            record.skipped_sync_count == record.advanced_count > 0
+            for record in result.records[1:]
+        )
+
+    def test_skipped_identifier_counts_match_across_engines(self):
+        config = EpochConfig(cycle_length=1.0, cycles_per_epoch=GAMMA, epoch_length=GAMMA / 2)
+        reference = build_driver("reference", config=config).run(3)
+        vectorized = build_driver("vectorized", config=config).run(3)
+        assert_records_identical(reference, vectorized, "skipping")
+
+    def test_feedback_corrects_wrong_initial_estimate(self):
+        driver = build_driver(
+            "vectorized", size=80, initial_estimate=20.0, concurrent_target=8.0,
+            config=EpochConfig(cycles_per_epoch=12),
+        )
+        result = driver.run(3)
+        # First election used the wrong N^ (P_lead = 8/20), later ones the
+        # corrected estimate (P_lead ~ 8/80).
+        assert result.records[0].lead_probability == pytest.approx(8 / 20)
+        assert result.records[-1].lead_probability < 0.15
+        assert result.final_estimate == pytest.approx(80, rel=0.15)
+        assert driver.election.estimated_size == result.final_estimate
+
+    def test_reference_driver_drives_real_epoch_trackers(self):
+        driver = build_driver("reference")
+        result = driver.run(2)
+        last_epoch = result.records[-1].epoch_id
+        trackers = driver.trackers
+        assert len(trackers) == result.records[-1].participant_count
+        sample = next(iter(trackers.values()))
+        assert sample.current_epoch == last_epoch
+        assert sample.is_terminated  # γ complete_cycle calls per epoch
+        # Per-node completed results recorded through finish_epoch.
+        assert any(
+            tracker.latest_result() is not None for tracker in trackers.values()
+        )
+
+    def test_auto_engine_follows_overlay_capability(self):
+        assert build_driver("auto", "complete").engine == "vectorized"
+        rng = RandomSource(3)
+        dict_overlay = build_overlay(
+            TopologySpec("newscast", degree=8), SIZE, rng.child("t")
+        )
+        election = LeaderElection(concurrent_target=5.0, estimated_size=float(SIZE))
+        driver = EpochDriver(
+            dict_overlay, election, EpochConfig(cycles_per_epoch=GAMMA), rng.child("d")
+        )
+        assert driver.engine == "reference"
+        with pytest.raises(ConfigurationError):
+            EpochDriver(
+                dict_overlay,
+                election,
+                EpochConfig(cycles_per_epoch=GAMMA),
+                rng.child("d2"),
+                engine="vectorized",
+            )
+        with pytest.raises(ConfigurationError):
+            build_driver("warp")
+
+    def test_result_helpers(self):
+        result = build_driver("vectorized").run(EPOCHS)
+        assert result.estimates() == [r.size_estimate for r in result.records]
+        summary = result.sync_summary()
+        assert summary["joined"] == SIZE
+        assert summary["advanced"] == (EPOCHS - 1) * SIZE
+        assert result.dry_epochs() == []
+
+
+class TestZeroLeaderEpoch:
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_dry_epoch_carries_estimate_forward(self, engine):
+        # P_lead = 0.01 / 10^9: a seeded rng elects nobody, every map
+        # stays empty, and the epoch must report nothing instead of
+        # corrupting the running estimate.
+        driver = build_driver(
+            engine, size=20, concurrent_target=0.01, initial_estimate=1e9,
+            config=EpochConfig(cycles_per_epoch=4),
+        )
+        result = driver.run(2)
+        assert result.dry_epochs() == [0, 1]
+        for record in result.records:
+            assert record.leader_count == 0
+            assert record.raw_estimate is None
+            assert record.size_estimate == 1e9  # deterministic carry-forward
+            assert math.isnan(record.min_estimate)
+            assert record.finite_reporters == 0
+        assert driver.election.estimated_size == 1e9  # update never fed
+        assert result.final_estimate == 1e9
+
+    def test_dry_epoch_still_advances_failures_and_recovery_works(self):
+        # Epoch 0 is dry, churn still runs during it, and a later epoch
+        # with leaders recovers a real estimate.
+        rng = RandomSource(31)
+        overlay = build_overlay(OVERLAYS["complete"], 40, rng.child("t"))
+        election = LeaderElection(concurrent_target=0.01, estimated_size=1e9)
+        driver = EpochDriver(
+            overlay,
+            election,
+            EpochConfig(cycles_per_epoch=5),
+            rng.child("d"),
+            failure_factory=lambda epoch_id: ChurnModel(1),
+            engine="vectorized",
+        )
+        first = driver.run(1).records[0]
+        assert first.dry
+        # Churn ran through the placeholder epoch: nodes were substituted.
+        assert sorted(driver.overlay.node_ids())[-1] >= 40
+        # Force a populated epoch by fixing the estimate.
+        election.concurrent_target = 5.0
+        election.estimated_size = 40.0
+        second = driver.run(1).records[-1]
+        assert not second.dry
+        assert second.joined_count == 5  # the churned-in nodes synced
+        assert math.isfinite(second.size_estimate)
+
+    def test_dry_then_populated_matches_across_engines(self):
+        def run(engine):
+            rng = RandomSource(13)
+            overlay = build_overlay(OVERLAYS["complete"], 30, rng.child("t"))
+            election = LeaderElection(concurrent_target=0.01, estimated_size=1e9)
+            driver = EpochDriver(
+                overlay, election, EpochConfig(cycles_per_epoch=4),
+                rng.child("d"), engine=engine,
+            )
+            driver.run(1)
+            election.concurrent_target = 4.0
+            election.estimated_size = 30.0
+            return driver.run(2)
+
+        assert_records_identical(run("reference"), run("vectorized"), "dry-recovery")
+
+
+class TestCountArrayFunction:
+    @st.composite
+    def random_map_pair(draw):
+        leaders = draw(
+            st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=12, unique=True)
+        )
+        values = st.floats(min_value=0.0, max_value=4.0, allow_nan=False)
+
+        def one_map():
+            subset = draw(st.lists(st.sampled_from(leaders), max_size=len(leaders), unique=True))
+            return {leader: draw(values) for leader in subset}
+
+        return leaders, one_map(), one_map()
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=random_map_pair())
+    def test_array_kernel_matches_dict_merge(self, data):
+        leaders, map_a, map_b = data
+        function = CountArrayFunction(leaders)
+        merged_dict, other = CountMapFunction().merge(map_a, map_b)
+        assert merged_dict == other
+        rows_a = function.encode_state(map_a)[None, :]
+        rows_b = function.encode_state(map_b)[None, :]
+        out_a, out_b = function.merge_arrays(rows_a, rows_b)
+        # Both peers install the same map, bit-identical to the dict rule.
+        assert function.decode_state(out_a[0]) == merged_dict
+        assert function.decode_state(out_b[0]) == merged_dict
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=random_map_pair())
+    def test_merge_conserves_total_mass(self, data):
+        leaders, map_a, map_b = data
+        function = CountArrayFunction(leaders)
+        rows = np.vstack([function.encode_state(map_a), function.encode_state(map_b)])
+        before = rows[:, : len(function.leaders)].sum()
+        out_a, out_b = function.merge_arrays(rows[:1], rows[1:])
+        after = out_a[:, : len(function.leaders)].sum() + out_b[:, : len(function.leaders)].sum()
+        assert after == pytest.approx(before, rel=1e-12, abs=1e-12)
+
+    def test_codec_roundtrip_and_estimates(self):
+        function = CountArrayFunction([4, 9, 2])
+        assert function.leaders == (2, 4, 9)
+        state = {9: 0.25, 2: 0.5}
+        row = function.encode_state(state)
+        assert function.decode_state(row) == state
+        assert function.estimate(state) == pytest.approx(0.375)
+        batch = np.vstack([row, function.encode_state({})])
+        estimates = function.estimate_array(batch)
+        assert estimates[0] == pytest.approx(0.375)
+        assert math.isnan(estimates[1])
+
+    def test_initial_states_scalar_and_array_agree(self):
+        function = CountArrayFunction([3, 7])
+        assert function.initial_state(-1) == {}
+        assert function.initial_state(None) == {}
+        assert function.initial_state(7) == {7: 1.0}
+        block = function.initial_state_array(np.array([3.0, -1.0, 7.0]))
+        assert function.decode_state(block[0]) == {3: 1.0}
+        assert function.decode_state(block[1]) == {}
+        assert function.decode_state(block[2]) == {7: 1.0}
+
+    def test_unknown_leader_rejected(self):
+        function = CountArrayFunction([3, 7])
+        with pytest.raises(ProtocolError):
+            function.initial_state(5)
+        with pytest.raises(ProtocolError):
+            function.initial_state_array(np.array([5.0]))
+        with pytest.raises(ProtocolError):
+            function.encode_state({5: 1.0})
+        with pytest.raises(ConfigurationError):
+            CountArrayFunction([])
+
+    def test_fast_path_dispatch_and_engine_state_parity(self):
+        leaders = [0, 7, 23]
+
+        def build(engine):
+            rng = RandomSource(4)
+            overlay = build_overlay(OVERLAYS["complete"], 40, rng.child("t"))
+            function = CountArrayFunction(leaders)
+            values = {
+                node: (float(node) if node in leaders else -1.0) for node in range(40)
+            }
+            assert supports_fast_path(function, overlay)
+            return make_simulator(
+                overlay, function, values, rng.child("s"), engine=engine
+            )
+
+        reference = build("reference")
+        vectorized = build("vectorized")
+        assert isinstance(reference, CycleSimulator)
+        assert isinstance(vectorized, VectorizedCycleSimulator)
+        reference.run(5)
+        vectorized.run(5)
+        # Decoded fast-path states are the same dicts the reference built.
+        assert reference.states() == vectorized.states()
+
+
+class TestBatchedReduction:
+    @st.composite
+    def random_maps(draw):
+        leaders = draw(
+            st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=10, unique=True)
+        )
+        values = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+        count = draw(st.integers(min_value=1, max_value=8))
+        maps = []
+        for _ in range(count):
+            subset = draw(st.lists(st.sampled_from(leaders), max_size=len(leaders), unique=True))
+            maps.append({leader: draw(values) for leader in subset})
+        fraction = draw(st.sampled_from([0.0, 1.0 / 3.0, 0.5, 0.75]))
+        return leaders, maps, fraction
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=random_maps())
+    def test_matrix_reduction_matches_scalar(self, data):
+        leaders, maps, fraction = data
+        values, mask = encode_count_maps(maps, leaders)
+        batched = count_estimates_from_matrix(values, mask, fraction)
+        scalar = [count_estimate_from_map(state, fraction) for state in maps]
+        for row, expected in zip(batched, scalar):
+            if math.isinf(expected):
+                assert math.isinf(row)
+            else:
+                assert row == pytest.approx(expected, rel=1e-12)
+
+    def test_multi_instance_array_reduction_matches_scalar(self):
+        rng = RandomSource(12)
+        bundle = MultiInstanceCount.create(list(range(30)), 9, rng)
+        block = np.abs(rng.generator.normal(size=(30, 9))) / 30.0
+        batched = bundle.size_estimates_array(block)
+        for row, state in zip(batched, block):
+            assert row == pytest.approx(
+                bundle.node_size_estimate(tuple(state)), rel=1e-12
+            )
+        with pytest.raises(ConfigurationError):
+            bundle.size_estimates_array(np.zeros((4, 3)))
+        # Heavy trim fractions are rejected exactly as the scalar
+        # trimmed_mean path rejects them.
+        heavy = MultiInstanceCount.create(
+            list(range(5)), 3, RandomSource(1), discard_fraction=0.5
+        )
+        with pytest.raises(ConfigurationError):
+            heavy.size_estimates_array(np.ones((5, 3)))
+
+
+class TestBatchedElection:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        target=st.floats(min_value=0.5, max_value=50.0),
+        size=st.integers(min_value=1, max_value=300),
+    )
+    def test_elect_batch_matches_scalar_elect(self, seed, target, size):
+        election = LeaderElection(concurrent_target=target, estimated_size=100.0)
+        node_ids = list(range(0, 2 * size, 2))
+        scalar = election.elect(node_ids, RandomSource(seed))
+        batched = election.elect_batch(node_ids, RandomSource(seed))
+        assert scalar == [int(node) for node in batched]
+
+    def test_degenerate_probabilities_consume_no_randomness(self):
+        ids = list(range(10))
+        certain = LeaderElection(concurrent_target=20.0, estimated_size=10.0)
+        assert certain.lead_probability == 1.0
+        assert list(certain.elect_batch(ids, RandomSource(0))) == ids
+
+
+class TestEpochConfigForAccuracy:
+    def test_gamma_from_accuracy(self):
+        config = epoch_config_for_accuracy(1e-6, convergence_factor=0.1)
+        assert config.cycles_per_epoch == 6
+        assert config.effective_epoch_length == 6.0
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            epoch_config_for_accuracy(2.0)

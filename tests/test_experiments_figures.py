@@ -36,7 +36,8 @@ TINY = ExperimentScale(name="tiny", network_size=150, repeats=3, sweep_points=3,
 class TestRegistryAndHelpers:
     def test_all_figures_registry_complete(self):
         assert set(ALL_FIGURES) == {
-            "2", "3a", "3b", "4a", "4b", "5", "6a", "6b", "7a", "7b", "8a", "8b", "cost",
+            "2", "3a", "3b", "4a", "4b", "5", "6a", "6b", "7a", "7b", "8a", "8b",
+            "adaptive", "cost",
         }
 
     def test_standard_topologies_families(self):
