@@ -100,6 +100,17 @@ class EpochConfig:
             raise ConfigurationError("time must be non-negative")
         return int(time // self.effective_epoch_length)
 
+    def cycle_for_time(self, time: float) -> int:
+        """The global cycle-equivalent window index at global time ``time``.
+
+        The asynchronous engines have no global cycles; validation against
+        the cycle model bins their continuous timeline into windows of
+        length δ, and this helper is the shared binning rule.
+        """
+        if time < 0:
+            raise ConfigurationError("time must be non-negative")
+        return int(time // self.cycle_length)
+
 
 @dataclass
 class EpochTracker:

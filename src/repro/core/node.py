@@ -35,9 +35,29 @@ from .messages import (
     StaleEpochNotice,
 )
 
-__all__ = ["AggregationNode", "collect_estimates"]
+__all__ = ["AggregationNode", "collect_estimates", "epoch_aware_value"]
 
 ValueProvider = Callable[[], Any]
+
+
+def epoch_aware_value(provider: Callable[[int], Any]) -> Callable[[int], Any]:
+    """Mark a value provider as wanting the epoch identifier.
+
+    A plain provider is called with no arguments at every epoch
+    (re)initialisation.  Providers marked with this helper receive the
+    epoch id instead, which is what per-epoch behaviour — most notably
+    COUNT leader self-election on the per-message engine — needs::
+
+        node = AggregationNode(
+            function=CountMapFunction(),
+            value_provider=epoch_aware_value(
+                lambda epoch: {my_id: 1.0} if elects(my_id, epoch) else {}
+            ),
+            ...,
+        )
+    """
+    provider.epoch_aware = True  # type: ignore[attr-defined]
+    return provider
 
 
 class AggregationNode(SimulatedProcess):
@@ -91,6 +111,7 @@ class AggregationNode(SimulatedProcess):
         self._exchange_counter = 0
         self._pending_exchange: Optional[int] = None
         self._pending_timeout = None
+        self._epoch_timer = None
         #: Diagnostics: how many exchanges were initiated / completed /
         #: timed out / refused because of epoch mismatch.
         self.statistics: Dict[str, int] = {
@@ -112,7 +133,7 @@ class AggregationNode(SimulatedProcess):
             # fraction of a cycle, as real deployments would.
             offset = self._rng.uniform(0.0, self._config.cycle_length)
             network.set_timer(self.node_id, offset, lambda: self._active_tick(network))
-            network.set_timer(
+            self._epoch_timer = network.set_timer(
                 self.node_id,
                 self._config.effective_epoch_length,
                 lambda: self._epoch_restart(network),
@@ -120,14 +141,25 @@ class AggregationNode(SimulatedProcess):
         else:
             network.send(self.node_id, self._contact_node, JoinRequest())
 
+    def on_crash(self, network: EventDrivenNetwork) -> None:
+        # Release the scheduler entries this node still holds; the
+        # generation guard would suppress them anyway, but cancelling
+        # keeps the (lazily compacted) event queue tight.
+        if self._pending_timeout is not None:
+            self._pending_timeout.cancel()
+            self._pending_timeout = None
+        if self._epoch_timer is not None:
+            self._epoch_timer.cancel()
+            self._epoch_timer = None
+
     def handle_message(self, message: Message, network: EventDrivenNetwork) -> None:
         payload = message.payload
         if isinstance(payload, ExchangeRequest):
             self._handle_request(message.sender, payload, network)
         elif isinstance(payload, ExchangeResponse):
-            self._handle_response(payload)
+            self._handle_response(payload, network)
         elif isinstance(payload, StaleEpochNotice):
-            self._handle_stale_notice(payload)
+            self._handle_stale_notice(payload, network)
         elif isinstance(payload, JoinRequest):
             self._handle_join_request(message.sender, network)
         elif isinstance(payload, JoinResponse):
@@ -204,7 +236,7 @@ class AggregationNode(SimulatedProcess):
             # epoch; the initiator's timeout treats this as a failure.
             return
         if request.epoch > self.tracker.current_epoch:
-            self._jump_to_epoch(request.epoch)
+            self._jump_to_epoch(request.epoch, network)
         elif request.epoch < self.tracker.current_epoch:
             self.statistics["stale_requests"] += 1
             network.send(
@@ -230,7 +262,9 @@ class AggregationNode(SimulatedProcess):
         self.state = new_responder
         self.statistics["responded"] += 1
 
-    def _handle_response(self, response: ExchangeResponse) -> None:
+    def _handle_response(
+        self, response: ExchangeResponse, network: EventDrivenNetwork
+    ) -> None:
         if response.exchange_id != self._pending_exchange:
             # Late response after the timeout fired, or from a previous
             # epoch: ignore it (the skip already happened).
@@ -240,7 +274,7 @@ class AggregationNode(SimulatedProcess):
             self._pending_timeout.cancel()
             self._pending_timeout = None
         if response.epoch > self.tracker.current_epoch:
-            self._jump_to_epoch(response.epoch)
+            self._jump_to_epoch(response.epoch, network)
             return
         if response.epoch < self.tracker.current_epoch:
             return
@@ -248,32 +282,53 @@ class AggregationNode(SimulatedProcess):
         self.state = new_initiator
         self.statistics["completed"] += 1
 
-    def _handle_stale_notice(self, notice: StaleEpochNotice) -> None:
+    def _handle_stale_notice(
+        self, notice: StaleEpochNotice, network: EventDrivenNetwork
+    ) -> None:
         if notice.exchange_id == self._pending_exchange:
             self._pending_exchange = None
             if self._pending_timeout is not None:
                 self._pending_timeout.cancel()
                 self._pending_timeout = None
         if notice.epoch > self.tracker.current_epoch:
-            self._jump_to_epoch(notice.epoch)
+            self._jump_to_epoch(notice.epoch, network)
 
     # ------------------------------------------------------------------
     # Epoch handling
     # ------------------------------------------------------------------
     def _initialise_state(self) -> None:
-        self.state = self._function.initial_state(self._value_provider())
+        if getattr(self._value_provider, "epoch_aware", False):
+            value = self._value_provider(self.tracker.current_epoch)
+        else:
+            value = self._value_provider()
+        self.state = self._function.initial_state(value)
 
-    def _jump_to_epoch(self, epoch_id: int) -> None:
-        """Adopt a newer epoch heard about on the wire (Section 4.3)."""
+    def _jump_to_epoch(self, epoch_id: int, network: EventDrivenNetwork) -> None:
+        """Adopt a newer epoch heard about on the wire (Section 4.3).
+
+        The epoch timer is re-anchored to a full Δ of local time: a node
+        pulled forward epidemically owes the new epoch a whole epoch's
+        worth of cycles.  Keeping the stale periodic schedule instead
+        would fire the node's own restart almost immediately, pushing it
+        *another* epoch ahead and escalating epoch identifiers through
+        the network far faster than Δ under clock drift.
+        """
         self.tracker.finish_epoch(self.current_estimate())
         self.tracker.observe_epoch(epoch_id)
         self._initialise_state()
         self._pending_exchange = None
         self.statistics["epoch_jumps"] += 1
+        if self._epoch_timer is not None:
+            self._epoch_timer.cancel()
+        self._epoch_timer = network.set_timer(
+            self.node_id,
+            self._config.effective_epoch_length,
+            lambda: self._epoch_restart(network),
+        )
 
     def _epoch_restart(self, network: EventDrivenNetwork) -> None:
         """Scheduled restart: report the finished epoch, start the next one."""
-        network.set_timer(
+        self._epoch_timer = network.set_timer(
             self.node_id,
             self._config.effective_epoch_length,
             lambda: self._epoch_restart(network),
@@ -314,7 +369,7 @@ class AggregationNode(SimulatedProcess):
             self._initialise_state()
             offset = self._rng.uniform(0.0, self._config.cycle_length)
             network.set_timer(self.node_id, offset, lambda: self._active_tick(network))
-            network.set_timer(
+            self._epoch_timer = network.set_timer(
                 self.node_id,
                 self._config.effective_epoch_length,
                 lambda: self._epoch_restart(network),

@@ -10,6 +10,7 @@ paper's experiment.
 
 from __future__ import annotations
 
+import math
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -21,6 +22,13 @@ from ..core.count import LeaderElection, peak_initial_values
 from ..core.epoch import EpochConfig
 from ..core.functions import AggregationFunction, AverageFunction
 from ..simulator import make_simulator
+from ..simulator.async_engine import AsyncCountProtocol, AsyncPracticalSimulator
+from ..simulator.asynchrony import (
+    LAN,
+    AsynchronyScenario,
+    build_async_average,
+    build_async_count,
+)
 from ..simulator.epochs import EpochDriver, EpochedRunResult, FailureFactory
 from ..simulator.failures import FailureModel
 from ..simulator.metrics import SimulationTrace
@@ -32,6 +40,8 @@ __all__ = [
     "peak_values_for_count",
     "run_average_once",
     "run_epoched_count",
+    "run_async_average",
+    "run_async_count",
     "repeat_traces",
     "repeat_simulations",
 ]
@@ -130,6 +140,85 @@ def run_epoched_count(
         keep_cycle_traces=keep_cycle_traces,
     )
     return driver.run(epochs)
+
+
+def run_async_average(
+    topology: TopologySpec,
+    size: int,
+    values: Sequence[float],
+    cycles: int,
+    rng: RandomSource,
+    scenario: AsynchronyScenario = LAN,
+    record_every: int = 1,
+) -> AsyncPracticalSimulator:
+    """Run AVERAGE on the asynchronous engine; return the simulator.
+
+    The counterpart of :func:`run_average_once` on the other side of the
+    synchrony divide: per-node drifted timers instead of global cycles,
+    sampled latencies and timeouts instead of instantaneous exchanges,
+    with every impairment coming from the
+    :class:`~repro.simulator.asynchrony.AsynchronyScenario`.  The trace
+    is binned into cycle-equivalent windows, so convergence measures are
+    directly comparable with the cycle engines'.
+    """
+    overlay = build_overlay(topology, size, rng.child("topology"))
+    simulator, _ = build_async_average(
+        overlay,
+        {node: float(value) for node, value in enumerate(values)},
+        rng.child("simulation"),
+        scenario,
+        record_every=record_every,
+    )
+    simulator.run(cycles)
+    return simulator
+
+
+def run_async_count(
+    topology: TopologySpec,
+    size: int,
+    epochs: int,
+    rng: RandomSource,
+    scenario: AsynchronyScenario = LAN,
+    concurrent_target: float = 20.0,
+    initial_estimate: Optional[float] = None,
+    epoch_config: Optional[EpochConfig] = None,
+    discard_fraction: float = 1.0 / 3.0,
+    record_every: int = 1,
+    extra_windows: Optional[int] = None,
+) -> AsyncCountProtocol:
+    """Run the full practical protocol asynchronously; return its protocol.
+
+    The asynchronous counterpart of :func:`run_epoched_count`: NEWSCAST
+    or static membership, per-epoch leader self-election with
+    ``P_lead = C / N̂``, epochs driven by per-node drifted timers and
+    synchronised epidemically, trimmed-mean reduction and adaptive
+    feedback.  Runs ``epochs`` nominal epochs plus ``extra_windows``
+    cycle-equivalent windows so the final epoch boundary is crossed even
+    by slow clocks — the default cushion scales with the scenario's
+    drift (a rate-``1+d`` clock reaches its ``k``-th restart
+    ``k·Δ·d`` late) — and returns the
+    :class:`~repro.simulator.async_engine.AsyncCountProtocol` carrying
+    the per-epoch records and size estimates.
+    """
+    overlay = build_overlay(topology, size, rng.child("topology"))
+    config = epoch_config or EpochConfig()
+    simulator, protocol = build_async_count(
+        overlay,
+        rng.child("simulation"),
+        scenario,
+        epoch_config=config,
+        concurrent_target=concurrent_target,
+        initial_estimate=initial_estimate,
+        discard_fraction=discard_fraction,
+        record_every=record_every,
+    )
+    windows_per_epoch = int(math.ceil(config.effective_epoch_length / config.cycle_length))
+    if extra_windows is None:
+        extra_windows = 3 + int(
+            math.ceil(epochs * windows_per_epoch * scenario.clock_drift)
+        )
+    simulator.run(epochs * windows_per_epoch + extra_windows)
+    return protocol
 
 
 def _run_one(make_run: Callable[[int, RandomSource], T], seed: int, index: int) -> T:

@@ -13,6 +13,22 @@ from typing import Optional
 from ..common.rng import RandomSource
 from ..core.functions import AggregationFunction
 from ..topology.base import OverlayProvider
+from .async_engine import (
+    AsyncAverageProtocol,
+    AsyncCountProtocol,
+    AsyncEpochRecord,
+    AsyncPracticalSimulator,
+    AsyncProtocol,
+)
+from .asynchrony import (
+    AsynchronyScenario,
+    EngineAgreement,
+    build_async_average,
+    build_async_count,
+    compare_average_convergence,
+    scenario_from_environment,
+    validation_grid,
+)
 from .cycle_sim import CycleSimulator, InitialValues
 from .engine import EventHandle, EventScheduler
 from .epochs import (
@@ -50,6 +66,18 @@ from .vectorized import VectorizedCycleSimulator
 __all__ = [
     "CycleSimulator",
     "VectorizedCycleSimulator",
+    "AsyncPracticalSimulator",
+    "AsyncProtocol",
+    "AsyncAverageProtocol",
+    "AsyncCountProtocol",
+    "AsyncEpochRecord",
+    "AsynchronyScenario",
+    "EngineAgreement",
+    "build_async_average",
+    "build_async_count",
+    "compare_average_convergence",
+    "scenario_from_environment",
+    "validation_grid",
     "EpochDriver",
     "EpochRecord",
     "EpochedRunResult",

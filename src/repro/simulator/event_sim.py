@@ -1,26 +1,45 @@
 """Event-driven network simulator.
 
-While the cycle-driven engine (:mod:`repro.simulator.cycle_sim`) is ideal
-for large parameter sweeps, it abstracts away the asynchronous effects the
-practical protocol of Section 4 must cope with: message delays, exchange
-timeouts, clock drift between nodes and epochs that start at different
-real times at different nodes.  This module provides a message-passing
-simulator built on :class:`~repro.simulator.engine.EventScheduler` that
-models all of those effects, and is what
-:class:`~repro.core.node.AggregationNode` (the full practical protocol
-implementation) runs on.
+While the cycle-driven engines (:mod:`repro.simulator.cycle_sim`,
+:mod:`repro.simulator.vectorized`) are ideal for large parameter sweeps,
+they abstract away the asynchronous effects the practical protocol of
+Section 4 must cope with: message delays, exchange timeouts, clock drift
+between nodes and epochs that start at different real times at different
+nodes.  This module provides a message-passing simulator built on
+:class:`~repro.simulator.engine.EventScheduler` that models all of those
+effects, and is what :class:`~repro.core.node.AggregationNode` (the full
+practical protocol implementation) runs on.  For asynchronous runs beyond
+a few thousand nodes, prefer the batched
+:class:`~repro.simulator.async_engine.AsyncPracticalSimulator`.
 
 Nodes are objects implementing the small :class:`SimulatedProcess`
 interface; the network delivers their messages with sampled latencies,
 drops them according to the transport model, and exposes membership
 operations (crash / join) to the caller.
+
+Implementation notes for scale:
+
+* The node registry and the per-node clock-rate table are flat lists and
+  a NumPy array indexed by node id (identifiers are assigned densely), so
+  the per-message hot path does no dict hashing.
+* Message latencies and loss decisions are drawn in *batches* through
+  :meth:`DelayModel.sample_delays` and one shared uniform block, then
+  consumed one at a time, replacing three scalar generator round-trips
+  per message with amortised array indexing.
+* Deliveries are *generation-checked*: crashing a node bumps its
+  identifier's generation, so messages (and timers) in flight to the
+  crashed incarnation are never delivered to a later process that reuses
+  the identifier.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from functools import partial
+from typing import Any, Callable, List, Optional
+
+import numpy as np
 
 from ..common.errors import SimulationError
 from ..common.rng import RandomSource
@@ -29,6 +48,10 @@ from .engine import EventHandle, EventScheduler
 from .transport import DelayModel, PERFECT_TRANSPORT, TransportModel
 
 __all__ = ["Message", "SimulatedProcess", "EventDrivenNetwork"]
+
+#: How many latency / loss variates are drawn per refill of the batched
+#: sampling buffers.
+_SAMPLE_BLOCK = 1024
 
 
 @dataclass(frozen=True)
@@ -96,13 +119,25 @@ class EventDrivenNetwork:
         self._loss_rng = rng.child("loss")
         self._drift_rng = rng.child("drift")
         self._clock_drift = clock_drift
-        self._processes: Dict[int, SimulatedProcess] = {}
-        self._clock_rates: Dict[int, float] = {}
+        # Array-backed registry: slot i holds the live process with id i
+        # (None when dead or unassigned), its clock rate, and the
+        # generation counter that invalidates in-flight traffic on crash.
+        self._registry: List[Optional[SimulatedProcess]] = []
+        self._clock_rates = np.empty(0, dtype=np.float64)
+        self._generations: List[int] = []
+        self._alive_count = 0
         self._next_id = 0
-        #: Counters exposed for tests and reports.
+        # Batched sampling buffers (refilled in blocks).
+        self._delay_buffer = np.empty(0, dtype=np.float64)
+        self._delay_position = 0
+        self._loss_buffer = np.empty(0, dtype=np.float64)
+        self._loss_position = 0
+        #: Counters exposed for tests and reports; they reconcile as
+        #: ``sent == delivered + dropped + in_flight``.
         self.sent_messages = 0
         self.delivered_messages = 0
         self.dropped_messages = 0
+        self.in_flight_messages = 0
 
     # ------------------------------------------------------------------
     # Time
@@ -114,21 +149,42 @@ class EventDrivenNetwork:
 
     def local_delay(self, node_id: int, nominal: float) -> float:
         """Convert a nominal local duration into drifted real time."""
-        rate = self._clock_rates.get(node_id, 1.0)
-        return nominal * rate
+        if 0 <= node_id < self._clock_rates.size:
+            return nominal * float(self._clock_rates[node_id])
+        return nominal
+
+    def clock_rate(self, node_id: int) -> float:
+        """The drifted clock rate assigned to ``node_id`` (1.0 = perfect)."""
+        if 0 <= node_id < self._clock_rates.size:
+            return float(self._clock_rates[node_id])
+        return 1.0
 
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
+    def _ensure_capacity(self, node_id: int) -> None:
+        if node_id < len(self._registry):
+            return
+        grow_to = max(node_id + 1, 2 * len(self._registry), 16)
+        self._registry.extend([None] * (grow_to - len(self._registry)))
+        self._generations.extend([0] * (grow_to - len(self._generations)))
+        rates = np.ones(grow_to, dtype=np.float64)
+        rates[: self._clock_rates.size] = self._clock_rates
+        self._clock_rates = rates
+
     def add_process(self, process: SimulatedProcess, node_id: Optional[int] = None) -> int:
         """Register a process, assign it an identifier, and start it."""
         if node_id is None:
             node_id = self._next_id
-        if node_id in self._processes:
+        if node_id < 0:
+            raise SimulationError(f"node id must be non-negative, got {node_id}")
+        self._ensure_capacity(node_id)
+        if self._registry[node_id] is not None:
             raise SimulationError(f"node id {node_id} already registered")
         self._next_id = max(self._next_id, node_id + 1)
         process.node_id = node_id
-        self._processes[node_id] = process
+        self._registry[node_id] = process
+        self._alive_count += 1
         if self._clock_drift > 0.0:
             rate = self._drift_rng.uniform(1.0 - self._clock_drift, 1.0 + self._clock_drift)
         else:
@@ -138,34 +194,75 @@ class EventDrivenNetwork:
         return node_id
 
     def crash_process(self, node_id: int) -> None:
-        """Remove a process; undelivered messages to it are silently lost."""
-        process = self._processes.pop(node_id, None)
-        self._clock_rates.pop(node_id, None)
-        if process is not None:
-            process.on_crash(self)
+        """Remove a process; undelivered messages to it are silently lost.
+
+        The identifier's generation is bumped, so traffic and timers still
+        in flight toward the crashed incarnation are dropped even if the
+        identifier is later reused by a new process.
+        """
+        if not (0 <= node_id < len(self._registry)):
+            return
+        process = self._registry[node_id]
+        if process is None:
+            return
+        self._registry[node_id] = None
+        self._generations[node_id] += 1
+        self._clock_rates[node_id] = 1.0
+        self._alive_count -= 1
+        process.on_crash(self)
 
     def is_alive(self, node_id: int) -> bool:
         """Whether the process with this identifier is currently registered."""
-        return node_id in self._processes
+        return 0 <= node_id < len(self._registry) and self._registry[node_id] is not None
 
     def process(self, node_id: int) -> SimulatedProcess:
         """Return the live process with this identifier."""
-        try:
-            return self._processes[node_id]
-        except KeyError as exc:
-            raise SimulationError(f"node {node_id} is not alive") from exc
+        if not self.is_alive(node_id):
+            raise SimulationError(f"node {node_id} is not alive")
+        return self._registry[node_id]
 
     def processes(self) -> List[SimulatedProcess]:
         """All live processes."""
-        return list(self._processes.values())
+        return [process for process in self._registry if process is not None]
 
     def node_ids(self) -> List[int]:
         """Identifiers of all live processes."""
-        return sorted(self._processes.keys())
+        return [
+            node_id
+            for node_id, process in enumerate(self._registry)
+            if process is not None
+        ]
 
     def size(self) -> int:
         """Number of live processes."""
-        return len(self._processes)
+        return self._alive_count
+
+    def generation(self, node_id: int) -> int:
+        """How many times this identifier's process has crashed."""
+        if 0 <= node_id < len(self._generations):
+            return self._generations[node_id]
+        return 0
+
+    # ------------------------------------------------------------------
+    # Batched randomness
+    # ------------------------------------------------------------------
+    def _next_delay(self) -> float:
+        if self._delay_position >= self._delay_buffer.size:
+            self._delay_buffer = self.delay_model.sample_delays(
+                self._delay_rng, _SAMPLE_BLOCK
+            )
+            self._delay_position = 0
+        value = self._delay_buffer[self._delay_position]
+        self._delay_position += 1
+        return float(value)
+
+    def _next_loss_uniform(self) -> float:
+        if self._loss_position >= self._loss_buffer.size:
+            self._loss_buffer = self._loss_rng.generator.random(_SAMPLE_BLOCK)
+            self._loss_position = 0
+        value = self._loss_buffer[self._loss_position]
+        self._loss_position += 1
+        return float(value)
 
     # ------------------------------------------------------------------
     # Communication
@@ -175,27 +272,41 @@ class EventDrivenNetwork:
 
         The message is subject to link failure and message loss; if it
         survives, it is delivered after a sampled latency — provided the
-        recipient is still alive at delivery time.
+        recipient is still alive *and of the same incarnation* at
+        delivery time.
         """
         self.sent_messages += 1
-        if self.transport.link_failure_probability > 0.0 and self._loss_rng.bernoulli(
-            self.transport.link_failure_probability
+        transport = self.transport
+        if (
+            transport.link_failure_probability > 0.0
+            and self._next_loss_uniform() < transport.link_failure_probability
         ):
             self.dropped_messages += 1
             return
-        if self.transport.message_loss_probability > 0.0 and self._loss_rng.bernoulli(
-            self.transport.message_loss_probability
+        if (
+            transport.message_loss_probability > 0.0
+            and self._next_loss_uniform() < transport.message_loss_probability
         ):
             self.dropped_messages += 1
             return
-        delay = self.delay_model.sample_delay(self._delay_rng)
+        delay = self._next_delay()
         message = Message(sender=sender, recipient=recipient, payload=payload, sent_at=self.now)
-        self.scheduler.schedule_after(delay, lambda: self._deliver(message))
+        if 0 <= recipient < len(self._generations):
+            generation = self._generations[recipient]
+        else:
+            generation = 0
+        self.in_flight_messages += 1
+        self.scheduler.schedule_after(delay, partial(self._deliver, message, generation))
 
-    def _deliver(self, message: Message) -> None:
-        process = self._processes.get(message.recipient)
-        if process is None:
-            # Recipient crashed while the message was in flight.
+    def _deliver(self, message: Message, generation: int) -> None:
+        self.in_flight_messages -= 1
+        recipient = message.recipient
+        process = (
+            self._registry[recipient] if 0 <= recipient < len(self._registry) else None
+        )
+        if process is None or self._generations[recipient] != generation:
+            # Recipient crashed while the message was in flight (even if a
+            # new process has since reused the identifier).
             self.dropped_messages += 1
             return
         self.delivered_messages += 1
@@ -207,12 +318,21 @@ class EventDrivenNetwork:
     def set_timer(self, node_id: int, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` after a node-local delay (drift applied).
 
-        The timer fires only if the node is still alive at that moment.
+        The timer fires only if the node is still alive — and of the same
+        incarnation — at that moment.
         """
         real_delay = self.local_delay(node_id, delay)
+        if 0 <= node_id < len(self._generations):
+            generation = self._generations[node_id]
+        else:
+            generation = 0
 
         def guarded() -> None:
-            if node_id in self._processes:
+            if (
+                0 <= node_id < len(self._registry)
+                and self._registry[node_id] is not None
+                and self._generations[node_id] == generation
+            ):
                 callback()
 
         return self.scheduler.schedule_after(real_delay, guarded)
@@ -226,6 +346,6 @@ class EventDrivenNetwork:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"EventDrivenNetwork(nodes={len(self._processes)}, t={self.now:.3f}, "
+            f"EventDrivenNetwork(nodes={self._alive_count}, t={self.now:.3f}, "
             f"sent={self.sent_messages}, dropped={self.dropped_messages})"
         )

@@ -20,6 +20,7 @@ latencies (and therefore timeout behaviour).
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,6 +36,8 @@ __all__ = [
     "TransportModel",
     "PERFECT_TRANSPORT",
     "DelayModel",
+    "DELAY_DISTRIBUTIONS",
+    "classify_async_exchanges",
 ]
 
 
@@ -129,19 +132,36 @@ class TransportModel:
 PERFECT_TRANSPORT = TransportModel()
 
 
+#: Latency distributions understood by :class:`DelayModel`.
+DELAY_DISTRIBUTIONS = ("fixed", "uniform", "lognormal")
+
+
 @dataclass(frozen=True)
 class DelayModel:
-    """Message latency model for the event-driven simulator.
+    """Message latency model for the event-driven simulators.
 
-    Latencies are drawn uniformly from ``[min_delay, max_delay]``.  The
-    model also carries the timeout the initiating node uses to detect a
-    silent peer; exchanges whose response would arrive after the timeout
+    The model also carries the timeout the initiating node uses to detect
+    a silent peer; exchanges whose response would arrive after the timeout
     are treated as failed, mirroring Section 4.2 of the paper.
+
+    Three latency distributions are supported:
+
+    * ``"uniform"`` (default) — latencies drawn uniformly from
+      ``[min_delay, max_delay]``, the historical behaviour.
+    * ``"fixed"`` — every message takes exactly ``min_delay``; useful for
+      isolating drift or loss effects from latency jitter.
+    * ``"lognormal"`` — a heavy-tailed WAN-like distribution: the
+      underlying normal has ``median = (min_delay + max_delay) / 2`` and
+      shape ``sigma``; draws are clipped below at ``min_delay`` (a message
+      cannot beat the propagation floor) but the upper tail is *not*
+      clipped, which is precisely what makes exchange timeouts bite.
     """
 
     min_delay: float = 0.01
     max_delay: float = 0.1
     timeout: float = 0.5
+    distribution: str = "uniform"
+    sigma: float = 0.5
 
     def __post_init__(self) -> None:
         require_non_negative(self.min_delay, "min_delay")
@@ -149,13 +169,84 @@ class DelayModel:
         require_non_negative(self.timeout, "timeout")
         if self.max_delay < self.min_delay:
             raise ValueError("max_delay must be at least min_delay")
+        if self.distribution not in DELAY_DISTRIBUTIONS:
+            raise ValueError(
+                f"distribution must be one of {DELAY_DISTRIBUTIONS}, "
+                f"got {self.distribution!r}"
+            )
+        if self.distribution == "lognormal":
+            require_non_negative(self.sigma, "sigma")
+            if self.min_delay + self.max_delay <= 0.0:
+                raise ValueError("lognormal delays need a positive median")
+
+    @property
+    def median_delay(self) -> float:
+        """Centre of the latency distribution (exact for lognormal)."""
+        return (self.min_delay + self.max_delay) / 2.0
 
     def sample_delay(self, rng: RandomSource) -> float:
         """Draw one message latency."""
+        if self.distribution == "fixed":
+            return self.min_delay
+        if self.distribution == "lognormal":
+            draw = float(
+                rng.generator.lognormal(math.log(self.median_delay), self.sigma)
+            )
+            return max(draw, self.min_delay)
         if self.max_delay == self.min_delay:
             return self.min_delay
         return rng.uniform(self.min_delay, self.max_delay)
 
+    def sample_delays(self, rng: RandomSource, count: int) -> np.ndarray:
+        """Draw ``count`` latencies in one batched generator call.
+
+        For the uniform distribution the batch consumes the generator
+        stream exactly like ``count`` scalar :meth:`sample_delay` calls
+        (``Generator.uniform(..., n)`` draws the same doubles as ``n``
+        scalar draws), so scalar and batched consumers can share a
+        stream; the fixed distribution consumes no randomness at all.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=np.float64)
+        if self.distribution == "lognormal":
+            draws = rng.generator.lognormal(
+                math.log(self.median_delay), self.sigma, count
+            )
+            return np.maximum(draws, self.min_delay)
+        if self.distribution == "fixed" or self.max_delay == self.min_delay:
+            return np.full(count, self.min_delay, dtype=np.float64)
+        return rng.generator.uniform(self.min_delay, self.max_delay, count)
+
     def round_trip_within_timeout(self, request_delay: float, response_delay: float) -> bool:
         """Whether a request/response pair beats the initiator's timeout."""
         return (request_delay + response_delay) <= self.timeout
+
+
+def classify_async_exchanges(
+    transport: TransportModel,
+    delay_model: DelayModel,
+    rng: RandomSource,
+    count: int,
+) -> np.ndarray:
+    """Batched exchange fates for the *asynchronous* engines.
+
+    Extends :meth:`TransportModel.classify_exchanges` with the timeout
+    semantics of Section 4.2: an exchange whose request arrived but whose
+    round trip exceeds the initiator's timeout behaves exactly like a lost
+    response — the responder has already applied the update by the time
+    the reply lands, while the initiator gave up waiting — so such slots
+    are reclassified from ``COMPLETED`` to ``RESPONSE_LOST``.
+
+    Loss variables are drawn first (one batch per stage, data-independent
+    counts, same discipline as ``classify_exchanges``), then one request
+    and one response latency per exchange regardless of the loss outcome,
+    so the stream consumption depends only on ``count``.
+    """
+    outcomes = transport.classify_exchanges(rng, count)
+    if count == 0:
+        return outcomes
+    request_delays = delay_model.sample_delays(rng, count)
+    response_delays = delay_model.sample_delays(rng, count)
+    timed_out = (request_delays + response_delays) > delay_model.timeout
+    outcomes[(outcomes == OUTCOME_COMPLETED) & timed_out] = OUTCOME_RESPONSE_LOST
+    return outcomes

@@ -1,0 +1,390 @@
+"""Tests for the batched asynchronous engine and its cycle-model validation.
+
+The acceptance claims of the asynchronous subsystem:
+
+* deterministic, seeded execution;
+* AVERAGE on the async engine statistically matches the cycle model's
+  convergence factor across the {overlay} × {drift} × {loss} grid;
+* the full practical protocol (NEWSCAST membership, epochs, adaptive
+  COUNT) tracks the true network size within tolerance under drift,
+  loss, churn and staggered start;
+* epoch identifiers advance at the Δ pace (regression for the epidemic
+  epoch-escalation bug, where a jumping node's stale restart timer
+  pushed it an extra epoch ahead).
+"""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RandomSource
+from repro.core.count import LeaderElection
+from repro.core.epoch import EpochConfig
+from repro.simulator.async_engine import (
+    AsyncAverageProtocol,
+    AsyncCountProtocol,
+    AsyncPracticalSimulator,
+)
+from repro.simulator.asynchrony import (
+    LAN,
+    SCENARIOS,
+    WAN,
+    AsynchronyScenario,
+    build_async_average,
+    build_async_count,
+    compare_average_convergence,
+    scenario_from_environment,
+    validation_grid,
+)
+from repro.simulator.epochs import EpochDriver
+from repro.simulator.transport import DelayModel, TransportModel
+from repro.topology import TopologySpec, build_overlay
+
+SIZE = 256
+
+
+def overlay_factory(kind):
+    if kind == "complete":
+        spec = TopologySpec("complete")
+    elif kind == "newscast":
+        spec = TopologySpec("newscast", degree=15, params={"vectorized": True})
+    else:
+        spec = TopologySpec("random", degree=12)
+    return lambda rng, size=SIZE: build_overlay(spec, size, rng)
+
+
+def linear_values(size=SIZE):
+    return {node: float(node % 101) for node in range(size)}
+
+
+def build_average(seed=3, scenario=LAN, size=SIZE, kind="random", record_every=1):
+    rng = RandomSource(seed)
+    overlay = overlay_factory(kind)(rng.child("overlay"), size)
+    return build_async_average(
+        overlay,
+        linear_values(size),
+        rng.child("run"),
+        scenario,
+        record_every=record_every,
+    )
+
+
+class TestEngineBasics:
+    def test_rejects_overlay_without_batched_selection(self):
+        rng = RandomSource(1)
+        overlay = build_overlay(TopologySpec("newscast", degree=10), 40, rng.child("o"))
+        with pytest.raises(ConfigurationError):
+            AsyncPracticalSimulator(
+                overlay, AsyncAverageProtocol({0: 1.0}), EpochConfig(), rng
+            )
+
+    def test_deterministic_from_seed(self):
+        results = []
+        for _ in range(2):
+            simulator, _ = build_average(seed=11, scenario=SCENARIOS["lossy"])
+            simulator.run(12)
+            results.append(
+                (simulator.trace.variances(), dict(simulator.statistics))
+            )
+        assert results[0] == results[1]
+
+    def test_average_converges_to_truth(self):
+        simulator, _ = build_average(seed=4)
+        simulator.run(25)
+        truth = np.mean(list(linear_values().values()))
+        estimates = simulator.current_estimates()
+        assert estimates.size == SIZE
+        assert estimates.mean() == pytest.approx(truth, rel=1e-9)
+        assert estimates.max() - estimates.min() < 1.0
+        assert simulator.trace.final.variance < 1e-4 * simulator.trace.initial.variance
+
+    def test_mean_is_preserved_without_loss(self):
+        simulator, _ = build_average(seed=5)
+        simulator.run(15)
+        truth = np.mean(list(linear_values().values()))
+        assert simulator.trace.final.mean == pytest.approx(truth, rel=1e-12)
+
+    def test_clock_rates_bounded_by_drift(self):
+        simulator, _ = build_average(seed=6, scenario=LAN.with_overrides(clock_drift=0.05))
+        rates = [simulator.clock_rate(node) for node in range(SIZE)]
+        assert all(0.95 <= rate <= 1.05 for rate in rates)
+        assert max(rates) > 1.0 > min(rates)
+
+    def test_run_until_advances_whole_windows(self):
+        simulator, _ = build_average(seed=7)
+        simulator.run_until(5.5)
+        assert simulator.now == pytest.approx(6.0)
+        assert simulator.window_index == 6
+
+    def test_trace_counts_exchanges_per_window(self):
+        simulator, _ = build_average(seed=8)
+        simulator.run(10)
+        per_window = [record.completed_exchanges for record in simulator.trace][1:]
+        # Each node ticks about once per window; totals must be per-window
+        # deltas, not cumulative counters.
+        assert all(0 < count <= SIZE + 5 for count in per_window)
+        assert sum(per_window) == simulator.statistics["completed"]
+
+
+class TestTimeoutsAndLatency:
+    def test_heavy_tailed_latency_with_tight_timeout_loses_responses(self):
+        tight = WAN.with_overrides(name="tight", timeout=0.2)
+        simulator, _ = build_average(seed=9, scenario=tight)
+        simulator.run(15)
+        stats = simulator.statistics
+        assert stats["response_lost"] > 0
+        # Convergence still happens, just slower (the paper's claim).
+        assert simulator.trace.final.variance < simulator.trace.initial.variance
+
+    def test_generous_timeout_never_times_out_on_uniform_lan(self):
+        simulator, _ = build_average(seed=10, scenario=LAN)
+        simulator.run(10)
+        assert simulator.statistics["response_lost"] == 0
+        assert simulator.statistics["dropped"] == 0
+
+
+class TestCrossEngineGrid:
+    """Acceptance: async convergence statistically matches the cycle model
+    across {complete, NEWSCAST} × {drift 0/1%/5%} × {loss 0/5%}."""
+
+    TOLERANCE = 0.08
+
+    @pytest.mark.parametrize("kind", ["complete", "newscast"])
+    @pytest.mark.parametrize("drift", [0.0, 0.01, 0.05])
+    @pytest.mark.parametrize("loss", [0.0, 0.05])
+    def test_average_convergence_factor_matches(self, kind, drift, loss):
+        scenario = LAN.with_overrides(
+            name=f"{kind}-grid", clock_drift=drift, message_loss=loss
+        )
+        agreement = compare_average_convergence(
+            overlay_factory(kind),
+            linear_values(),
+            cycles=20,
+            rng=RandomSource(1234),
+            scenario=scenario,
+        )
+        assert 0.15 < agreement.async_factor < 0.9
+        assert agreement.agree_within(self.TOLERANCE), (
+            f"{kind} drift={drift} loss={loss}: async={agreement.async_factor:.3f} "
+            f"cycle={agreement.cycle_factor:.3f}"
+        )
+
+
+class TestAsyncCount:
+    def run_count(self, seed=17, drift=0.01, loss=0.05, kind="random", epochs=3,
+                  gamma=20, size=SIZE, churn=0):
+        rng = RandomSource(seed)
+        overlay = overlay_factory(kind)(rng.child("overlay"), size)
+        scenario = LAN.with_overrides(
+            name="count-grid",
+            clock_drift=drift,
+            message_loss=loss,
+            churn_per_window=churn,
+        )
+        simulator, protocol = build_async_count(
+            overlay,
+            rng.child("run"),
+            scenario,
+            epoch_config=EpochConfig(cycles_per_epoch=gamma),
+            concurrent_target=16.0,
+        )
+        simulator.run(epochs * gamma + 3)
+        return simulator, protocol
+
+    @pytest.mark.parametrize("drift", [0.0, 0.01, 0.05])
+    @pytest.mark.parametrize("loss", [0.0, 0.05])
+    def test_epoch_estimates_near_truth_across_grid(self, drift, loss):
+        _, protocol = self.run_count(drift=drift, loss=loss)
+        records = [record for record in protocol.epoch_records() if not record.dry]
+        assert len(records) >= 3
+        for record in records:
+            assert record.mean_estimate == pytest.approx(SIZE, rel=0.15), (
+                f"drift={drift} loss={loss} epoch={record.epoch_id}: "
+                f"{record.mean_estimate}"
+            )
+
+    def test_async_estimates_match_cycle_model_epoch_driver(self):
+        """Per-epoch estimates statistically match the cycle-model driver."""
+        _, protocol = self.run_count(drift=0.01, loss=0.05, kind="complete")
+        async_records = [r for r in protocol.epoch_records() if not r.dry]
+
+        rng = RandomSource(99)
+        overlay = overlay_factory("complete")(rng.child("overlay"), SIZE)
+        driver = EpochDriver(
+            overlay,
+            LeaderElection(concurrent_target=16.0, estimated_size=float(SIZE)),
+            EpochConfig(cycles_per_epoch=20),
+            rng.child("driver"),
+            transport=TransportModel(message_loss_probability=0.05),
+        )
+        cycle_result = driver.run(3)
+        for async_record, cycle_record in zip(async_records, cycle_result.records):
+            assert async_record.mean_estimate == pytest.approx(
+                cycle_record.size_estimate, rel=0.15
+            )
+
+    def test_newscast_membership_supports_the_protocol(self):
+        _, protocol = self.run_count(kind="newscast")
+        records = [record for record in protocol.epoch_records() if not record.dry]
+        assert records
+        for record in records:
+            assert record.mean_estimate == pytest.approx(SIZE, rel=0.2)
+
+    def test_exchange_ledger_reconciles(self):
+        """Every tick lands in exactly one outcome bucket — including the
+        refused stale-epoch exchanges around epoch boundaries."""
+        simulator, _ = self.run_count(drift=0.05, loss=0.05, epochs=3)
+        stats = simulator.statistics
+        assert stats["stale_refused"] > 0
+        assert stats["ticks"] == (
+            stats["no_peer"]
+            + stats["dropped"]
+            + stats["completed"]
+            + stats["response_lost"]
+            + stats["stale_refused"]
+        )
+        completed = sum(r.completed_exchanges for r in simulator.trace)
+        failed = sum(r.failed_exchanges for r in simulator.trace)
+        assert completed == stats["completed"]
+        assert failed == stats["ticks"] - stats["completed"]
+
+    def test_epoch_ids_advance_at_delta_pace(self):
+        """Regression: epoch escalation under drift.
+
+        A node synced forward used to keep its stale periodic restart
+        schedule, restarting again almost immediately and pushing the
+        whole network one extra epoch ahead per wave; identifiers ran
+        far ahead of the Δ schedule.  With re-anchoring, 3γ windows can
+        create at most ~4 epochs even at 5% drift.
+        """
+        simulator, protocol = self.run_count(drift=0.05, loss=0.0, epochs=3)
+        newest = max(protocol.records)
+        assert newest <= 4
+        assert simulator.statistics["skipped_epochs"] == 0
+
+    def test_adaptive_feedback_corrects_wrong_initial_estimate(self):
+        rng = RandomSource(23)
+        overlay = overlay_factory("random")(rng.child("overlay"), SIZE)
+        simulator, protocol = build_async_count(
+            overlay,
+            rng.child("run"),
+            LAN.with_overrides(clock_drift=0.01),
+            epoch_config=EpochConfig(cycles_per_epoch=20),
+            concurrent_target=16.0,
+            initial_estimate=SIZE / 8.0,
+        )
+        simulator.run(3 * 20 + 3)
+        records = protocol.epoch_records()
+        # Wrong N̂ inflates P_lead in epoch 0; the feedback pulls the
+        # leader count back towards the concurrent target.
+        assert records[0].leader_count > 2 * records[-2].leader_count
+        final = protocol.size_estimates()[records[-2].epoch_id]
+        assert final == pytest.approx(SIZE, rel=0.15)
+
+
+class TestChurnAndStagger:
+    def test_churn_keeps_estimates_reasonable(self):
+        runner = TestAsyncCount()
+        simulator, protocol = runner.run_count(seed=31, churn=1, epochs=3)
+        records = [record for record in protocol.epoch_records() if not record.dry]
+        assert records
+        for record in records:
+            assert record.mean_estimate == pytest.approx(SIZE, rel=0.25)
+        # Churn replaced crashed nodes, so the population is steady.
+        assert simulator.alive_ids().size == pytest.approx(SIZE, abs=2)
+
+    def test_staggered_start_boots_everyone_eventually(self):
+        scenario = LAN.with_overrides(start_stagger=5.0)
+        simulator, _ = build_average(seed=33, scenario=scenario)
+        assert simulator.active_ids().size < SIZE
+        simulator.run(8)
+        assert simulator.active_ids().size == SIZE
+        assert simulator.statistics["activations"] == SIZE
+        simulator.run(17)
+        truth = np.mean(list(linear_values().values()))
+        assert simulator.trace.final.mean == pytest.approx(truth, rel=0.05)
+        # Cycle 0 has no booted nodes yet; compare against the first
+        # fully-populated window instead.
+        fully_booted = simulator.trace.record_at(8)
+        assert simulator.trace.final.variance < fully_booted.variance
+
+
+class TestScenarioLayer:
+    def test_presets_are_registered(self):
+        assert {"lan", "wan", "drifty", "lossy", "hostile"} <= set(SCENARIOS)
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ASYNC_SCENARIO", raising=False)
+        assert scenario_from_environment() is LAN
+        monkeypatch.setenv("REPRO_ASYNC_SCENARIO", "wan")
+        assert scenario_from_environment() is WAN
+        monkeypatch.setenv("REPRO_ASYNC_SCENARIO", "marswide")
+        with pytest.raises(ConfigurationError):
+            scenario_from_environment()
+
+    def test_validation_grid_shape(self):
+        grid = validation_grid()
+        assert len(grid) == 6
+        assert {(s.clock_drift, s.message_loss) for s in grid} == {
+            (0.0, 0.0), (0.0, 0.05), (0.01, 0.0),
+            (0.01, 0.05), (0.05, 0.0), (0.05, 0.05),
+        }
+
+    def test_scenario_validation(self):
+        with pytest.raises(ConfigurationError):
+            AsynchronyScenario(clock_drift=1.5)
+        with pytest.raises(ConfigurationError):
+            AsynchronyScenario(message_loss=1.5)
+        with pytest.raises(ConfigurationError):
+            AsynchronyScenario(latency="pareto")
+        with pytest.raises(ConfigurationError):
+            AsynchronyScenario(churn_per_window=-1)
+
+    def test_delay_model_scaling(self):
+        model = WAN.delay_model(cycle_length=10.0)
+        assert model.min_delay == pytest.approx(0.2)
+        assert model.timeout == pytest.approx(6.0)
+        assert model.distribution == "lognormal"
+
+    def test_labels_mention_impairments(self):
+        label = SCENARIOS["hostile"].label()
+        assert "drift" in label and "loss" in label and "churn" in label
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SCALE", "").lower() not in ("default", "paper"),
+    reason="async-scale acceptance runs only at REPRO_SCALE=default/paper",
+)
+class TestAsyncScaleAcceptance:
+    def test_practical_protocol_at_ten_thousand_nodes(self):
+        """Acceptance: N=10^4, ≥5 epochs, 1% drift, 5% loss — every epoch
+        estimate within 10% of the true size."""
+        size = 10_000
+        gamma = 30
+        rng = RandomSource(2004)
+        overlay = build_overlay(
+            TopologySpec("newscast", degree=30, params={"vectorized": True}),
+            size,
+            rng.child("overlay"),
+        )
+        scenario = LAN.with_overrides(
+            name="acceptance", clock_drift=0.01, message_loss=0.05
+        )
+        simulator, protocol = build_async_count(
+            overlay,
+            rng.child("run"),
+            scenario,
+            epoch_config=EpochConfig(cycles_per_epoch=gamma),
+            concurrent_target=30.0,
+            record_every=gamma,
+        )
+        simulator.run(5 * gamma + 5)
+        records = [record for record in protocol.epoch_records() if not record.dry]
+        assert len(records) >= 5
+        for record in records:
+            assert record.mean_estimate == pytest.approx(size, rel=0.10), (
+                f"epoch {record.epoch_id}: {record.mean_estimate}"
+            )

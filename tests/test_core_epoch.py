@@ -57,6 +57,15 @@ class TestEpochConfig:
         for epoch in range(5):
             assert config.epoch_for_time(config.epoch_start_time(epoch)) == epoch
 
+    def test_cycle_for_time_bins_by_cycle_length(self):
+        config = EpochConfig(cycle_length=0.5, cycles_per_epoch=10)
+        assert config.cycle_for_time(0.0) == 0
+        assert config.cycle_for_time(0.49) == 0
+        assert config.cycle_for_time(0.5) == 1
+        assert config.cycle_for_time(12.25) == 24
+        with pytest.raises(ConfigurationError):
+            config.cycle_for_time(-0.1)
+
     def test_epoch_for_time_with_explicit_epoch_length(self):
         config = EpochConfig(cycle_length=1.0, cycles_per_epoch=10, epoch_length=4.0)
         assert config.epoch_for_time(3.999) == 0

@@ -37,7 +37,7 @@ class TestRegistryAndHelpers:
     def test_all_figures_registry_complete(self):
         assert set(ALL_FIGURES) == {
             "2", "3a", "3b", "4a", "4b", "5", "6a", "6b", "7a", "7b", "8a", "8b",
-            "adaptive", "cost",
+            "adaptive", "adaptive-async", "cost",
         }
 
     def test_standard_topologies_families(self):
@@ -203,6 +203,24 @@ class TestFigure8:
             abs(by_count[20]["worst_min_size"] - scale.network_size),
         )
         assert error_many <= error_one * 1.05
+
+
+class TestAsyncAdaptiveFigure:
+    def test_feedback_corrects_wrong_estimate_asynchronously(self):
+        from repro.experiments.figures import async_adaptive_count
+
+        scale = TINY.with_overrides(network_size=200, repeats=2)
+        result = async_adaptive_count(scale, epochs=3, cycles_per_epoch=20)
+        assert result.figure_id == "adaptive-async"
+        assert len(result.rows) == 3
+        truth = scale.network_size
+        # Epoch 0 elects far too many leaders (N̂ starts at a quarter of
+        # the truth); later epochs settle near the concurrent target and
+        # the estimates track the true size.
+        assert result.rows[0]["mean_leaders"] > 2 * result.rows[-1]["mean_leaders"]
+        for row in result.rows:
+            assert row["mean_estimated_size"] == pytest.approx(truth, rel=0.15)
+        assert "drift" in result.parameters["scenario"]
 
 
 class TestCostAnalysis:

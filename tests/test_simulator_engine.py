@@ -1,6 +1,7 @@
 """Tests for the discrete-event scheduler."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import SimulationError
 from repro.simulator.engine import EventScheduler
@@ -120,3 +121,192 @@ class TestRunUntil:
             scheduler.schedule(time, lambda: None)
         scheduler.run()
         assert scheduler.processed_events == 3
+
+
+class TestLazyDeletionStats:
+    def test_pending_events_excludes_cancellations(self):
+        scheduler = EventScheduler()
+        handles = [scheduler.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert scheduler.pending_events() == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert scheduler.pending_events() == 6
+        assert not scheduler.is_empty()
+
+    def test_double_cancel_counts_once(self):
+        scheduler = EventScheduler()
+        handle = scheduler.schedule(1.0, lambda: None)
+        other = scheduler.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert scheduler.pending_events() == 1
+        other.cancel()
+        assert scheduler.is_empty()
+
+    def test_cancel_after_firing_does_not_corrupt_counter(self):
+        scheduler = EventScheduler()
+        handle = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        scheduler.step()
+        handle.cancel()  # already fired; must be a no-op
+        assert scheduler.pending_events() == 1
+        assert scheduler.step()
+        assert scheduler.is_empty()
+
+    def test_cancellation_heavy_queue_is_compacted(self):
+        scheduler = EventScheduler()
+        keeper = scheduler.schedule(1e9, lambda: None)
+        for burst in range(40):
+            handles = [
+                scheduler.schedule(float(burst) + i / 100.0, lambda: None)
+                for i in range(50)
+            ]
+            for handle in handles:
+                handle.cancel()
+            # The physical queue must stay within a constant factor of the
+            # single live event instead of accumulating 2000 tombstones.
+            assert scheduler.queued_entries() <= max(
+                2 * scheduler.pending_events(), EventScheduler._MIN_COMPACT_SIZE
+            )
+        assert scheduler.pending_events() == 1
+        assert scheduler.next_event_time() == 1e9
+        keeper.cancel()
+        assert scheduler.is_empty()
+
+    def test_compaction_inside_callback_does_not_double_fire(self):
+        """Regression: run_until must not drain a stale queue alias.
+
+        A callback that mass-cancels events triggers compaction, which
+        *replaces* the queue list; events surviving the rebuild used to
+        fire twice (once from each list) and drove the live counter
+        negative.
+        """
+        scheduler = EventScheduler()
+        fired = []
+        victims = [scheduler.schedule(50.0, lambda: fired.append("victim"))
+                   for _ in range(200)]
+        for i in range(5):
+            scheduler.schedule(2.0 + i, lambda i=i: fired.append(("later", i)))
+
+        def cancel_everything():
+            fired.append("trigger")
+            for handle in victims:
+                handle.cancel()
+
+        scheduler.schedule(1.0, cancel_everything)
+        scheduler.run_until(100.0)
+        assert fired == ["trigger"] + [("later", i) for i in range(5)]
+        assert scheduler.pending_events() == 0
+        assert scheduler.is_empty()
+        # Events scheduled after the compaction must still be visible.
+        scheduler.schedule(200.0, lambda: fired.append("late"))
+        scheduler.run_until(300.0)
+        assert fired[-1] == "late"
+
+    def test_next_event_time_skips_cancelled(self):
+        scheduler = EventScheduler()
+        first = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        first.cancel()
+        assert scheduler.next_event_time() == 2.0
+        assert EventScheduler().next_event_time() is None
+
+
+# ----------------------------------------------------------------------
+# Property-based comparison against a naive reference model
+# ----------------------------------------------------------------------
+class NaiveScheduler:
+    """Straight-line list-based model of the scheduler semantics."""
+
+    def __init__(self):
+        self.events = []  # (time, seq, cancelled:list, label)
+        self.seq = 0
+        self.now = 0.0
+
+    def schedule(self, time, label):
+        entry = [time, self.seq, False, label]
+        self.seq += 1
+        self.events.append(entry)
+        return entry
+
+    def pending(self):
+        return sum(1 for e in self.events if not e[2])
+
+    def fire_order(self):
+        live = sorted((e for e in self.events if not e[2]), key=lambda e: (e[0], e[1]))
+        return [e[3] for e in live]
+
+
+_operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.floats(0.0, 100.0, allow_nan=False)),
+        st.tuples(st.just("cancel"), st.integers(0, 200)),
+    ),
+    max_size=60,
+)
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(operations=_operations)
+    def test_matches_naive_model(self, operations):
+        """Stats, firing order and tie-breaks agree with the naive model."""
+        scheduler = EventScheduler()
+        naive = NaiveScheduler()
+        handles = []
+        for op, value in operations:
+            if op == "schedule":
+                label = len(handles)
+                handles.append(
+                    (
+                        scheduler.schedule(value, lambda l=label: fired.append(l)),
+                        naive.schedule(value, label),
+                    )
+                )
+            elif handles:
+                real, model = handles[value % len(handles)]
+                real.cancel()
+                model[2] = True
+            assert scheduler.pending_events() == naive.pending()
+            assert scheduler.is_empty() == (naive.pending() == 0)
+        fired = []
+        scheduler.run()
+        assert fired == naive.fire_order()
+        assert scheduler.is_empty()
+        assert scheduler.pending_events() == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(times=st.lists(st.floats(0.0, 50.0, allow_nan=False), max_size=40))
+    def test_now_is_monotonic(self, times):
+        scheduler = EventScheduler()
+        observed = []
+        for time in times:
+            scheduler.schedule(time, lambda: observed.append(scheduler.now))
+        scheduler.run()
+        assert observed == sorted(observed)
+        if times:
+            assert scheduler.now == max(times)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        times=st.lists(
+            st.floats(0.0, 10.0, allow_nan=False), min_size=2, max_size=30
+        ),
+        cancel_mask=st.lists(st.booleans(), min_size=2, max_size=30),
+    )
+    def test_cancellation_semantics(self, times, cancel_mask):
+        """Cancelled events never fire; everything else fires exactly once."""
+        scheduler = EventScheduler()
+        fired = []
+        handles = [
+            scheduler.schedule(time, lambda i=i: fired.append(i))
+            for i, time in enumerate(times)
+        ]
+        cancelled = set()
+        for index, (handle, cancel) in enumerate(zip(handles, cancel_mask)):
+            if cancel:
+                handle.cancel()
+                cancelled.add(index)
+        scheduler.run()
+        assert set(fired) == set(range(len(times))) - cancelled
+        assert len(fired) == len(set(fired))

@@ -122,6 +122,81 @@ class TestMessaging:
         assert network.delivered_messages == 1
 
 
+class TestCrashGenerations:
+    """Regression tests for crashed-then-reused node identifiers."""
+
+    def test_in_flight_message_not_delivered_to_reused_id(self):
+        network = make_network(delay_model=DelayModel(min_delay=0.5, max_delay=0.5))
+        a, b = Recorder(), Recorder()
+        id_a = network.add_process(a)
+        id_b = network.add_process(b, node_id=7)
+        network.send(id_a, id_b, "for the old incarnation")
+        network.crash_process(id_b)
+        reused = Recorder()
+        assert network.add_process(reused, node_id=7) == 7
+        network.run_until(2.0)
+        # The new process must never see traffic addressed to the crashed
+        # incarnation of its identifier.
+        assert reused.received == []
+        assert network.dropped_messages == 1
+
+    def test_new_incarnation_receives_new_traffic(self):
+        network = make_network()
+        a = Recorder()
+        id_a = network.add_process(a)
+        network.add_process(Recorder(), node_id=5)
+        network.crash_process(5)
+        reused = Recorder()
+        network.add_process(reused, node_id=5)
+        network.send(id_a, 5, "fresh")
+        network.run_until(2.0)
+        assert [message.payload for message in reused.received] == ["fresh"]
+
+    def test_timer_of_crashed_incarnation_suppressed_for_reused_id(self):
+        network = make_network()
+        network.add_process(Recorder(), node_id=3)
+        fired = []
+        network.set_timer(3, 1.0, lambda: fired.append("old"))
+        network.crash_process(3)
+        network.add_process(Recorder(), node_id=3)
+        network.set_timer(3, 1.5, lambda: fired.append("new"))
+        network.run_until(2.0)
+        assert fired == ["new"]
+
+    def test_generation_counter_tracks_crashes(self):
+        network = make_network()
+        network.add_process(Recorder(), node_id=2)
+        assert network.generation(2) == 0
+        network.crash_process(2)
+        network.add_process(Recorder(), node_id=2)
+        network.crash_process(2)
+        assert network.generation(2) == 2
+
+    def test_counters_reconcile_under_crashes_and_loss(self):
+        network = make_network(
+            seed=13,
+            transport=TransportModel(message_loss_probability=0.3),
+            delay_model=DelayModel(min_delay=0.1, max_delay=0.4),
+        )
+        nodes = [network.add_process(Recorder()) for _ in range(6)]
+        for step in range(40):
+            network.send(nodes[step % 6], nodes[(step + 1) % 6], step)
+        network.crash_process(nodes[1])
+        network.run_until(0.2)
+        # Mid-flight: the ledger must already balance.
+        assert network.sent_messages == (
+            network.delivered_messages
+            + network.dropped_messages
+            + network.in_flight_messages
+        )
+        network.run_until(5.0)
+        assert network.in_flight_messages == 0
+        assert network.sent_messages == 40
+        assert network.sent_messages == (
+            network.delivered_messages + network.dropped_messages
+        )
+
+
 class TestTimers:
     def test_timer_fires_for_live_node(self):
         network = make_network()
