@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Refresh the committed perf trajectory (``BENCH_micro.json``).
+
+The repository keeps the latest micro-benchmark results *in the tree* so
+the performance trajectory is reviewable like any other artifact; CI
+regenerates the file on every run and uploads it as an artifact, and a
+maintainer refreshes the committed copy with::
+
+    python benchmarks/record.py
+
+which runs the micro-benchmark suites (engine cycles, NEWSCAST rounds,
+the asynchronous engine, and the replicated repeat engine) and writes
+``BENCH_micro.json`` at the repository root.  Pass extra pytest
+arguments after ``--`` to narrow the run, e.g.::
+
+    python benchmarks/record.py -- benchmarks/test_replicated_microbenchmarks.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_micro.json"
+
+#: The suites that feed the perf trajectory.
+MICROBENCH_FILES = [
+    "benchmarks/test_microbenchmarks.py",
+    "benchmarks/test_async_microbenchmarks.py",
+    "benchmarks/test_replicated_microbenchmarks.py",
+]
+
+
+def main(argv: list[str]) -> int:
+    extra = argv[1:]
+    if extra and extra[0] == "--":
+        extra = extra[1:]
+    targets = extra or MICROBENCH_FILES
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *targets,
+        "--benchmark-only",
+        f"--benchmark-json={OUTPUT}",
+        "-q",
+    ]
+    print("$", " ".join(command))
+    result = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        return result.returncode
+    payload = json.loads(OUTPUT.read_text())
+    # Strip the machine-specific noise (hostname, exact library builds)
+    # so refreshes diff cleanly; keep the fields the trajectory needs.
+    payload.pop("machine_info", None)
+    payload.pop("commit_info", None)
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    groups: dict[str, int] = {}
+    for bench in payload.get("benchmarks", []):
+        groups[bench.get("group", "?")] = groups.get(bench.get("group", "?"), 0) + 1
+    print(f"\nWrote {OUTPUT} ({len(payload.get('benchmarks', []))} benchmarks):")
+    for group in sorted(groups):
+        print(f"  {group}: {groups[group]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

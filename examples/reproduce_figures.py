@@ -11,7 +11,15 @@ The experiment scale is controlled by the ``REPRO_SCALE`` environment
 variable (``smoke``, ``default`` or ``paper``); the default used here is
 the ``default`` preset (a few thousand nodes), which produces recognisable
 shapes in minutes.  ``paper`` uses the publication's 10^5 nodes and 50
-repetitions and takes a very long time in pure Python.
+repetitions.
+
+Repeats are batched: every sweep point of the convergence and robustness
+figures describes its repetitions as a declarative
+:class:`~repro.experiments.runner.RunPlan`, so all repeats of a point run
+as ONE stacked simulation on the replicated tensor engine (several times
+faster than serial repeats, bit-identical results).  Configurations the
+fast path cannot serve — e.g. the dict-based NEWSCAST overlay — fall
+back to serial repetition automatically.
 """
 
 from __future__ import annotations
@@ -34,7 +42,8 @@ def main(argv: list[str]) -> int:
         print("Available figures:", ", ".join(sorted(ALL_FIGURES)))
         return 1
     print(f"Reproducing {len(wanted)} figure(s) at scale '{scale.name}' "
-          f"({scale.network_size} nodes, {scale.repeats} repetitions)\n")
+          f"({scale.network_size} nodes, {scale.repeats} repetitions; "
+          f"repeats batched on the replicated engine where eligible)\n")
     for figure_id in wanted:
         result = ALL_FIGURES[figure_id](scale)
         print(result.render())

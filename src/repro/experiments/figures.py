@@ -65,11 +65,11 @@ from .config import DEFAULT, ExperimentScale
 from .reporting import render_table
 from ..simulator.asynchrony import LAN, AsynchronyScenario
 from .runner import (
+    RunPlan,
     peak_values_for_count,
     repeat_simulations,
     repeat_traces,
     run_async_count,
-    run_average_once,
     run_epoched_count,
     uniform_initial_values,
 )
@@ -210,11 +210,9 @@ def figure2_average_peak(
     topology = TopologySpec("random", degree=degree)
     values = peak_values_for_count(size, peak_value=float(size))
 
-    def one_run(index: int, rng: RandomSource):
-        simulator = run_average_once(topology, size, values, cycles, rng)
-        return simulator.trace
-
-    traces = repeat_traces(scale.repeats, scale.seed, one_run)
+    # All repeats of the point run as one stacked replicated simulation.
+    plan = RunPlan(topology=topology, size=size, cycles=cycles, values=values)
+    traces = repeat_traces(scale.repeats, scale.seed, plan=plan)
     rows = []
     for cycle in range(cycles + 1):
         minima = [trace.record_at(cycle).minimum for trace in traces]
@@ -259,12 +257,10 @@ def figure3a_convergence_vs_size(
         degree = _effective_degree(size)
         specs = topologies or standard_topologies(degree=degree, newscast_cache=min(30, size - 1))
         for spec in specs:
-            def one_run(index: int, rng: RandomSource, spec=spec, size=size):
-                values = uniform_initial_values(size, rng.child("values"))
-                simulator = run_average_once(spec, size, values, cycles, rng)
-                return simulator.trace
-
-            traces = repeat_traces(scale.repeats, scale.seed, one_run)
+            plan = RunPlan(
+                topology=spec, size=size, cycles=cycles, values=uniform_initial_values
+            )
+            traces = repeat_traces(scale.repeats, scale.seed, plan=plan)
             rows.append(
                 {
                     "topology": spec.label(),
@@ -295,12 +291,10 @@ def figure3b_variance_reduction(
     specs = topologies or standard_topologies(degree=degree, newscast_cache=min(30, size - 1))
     rows = []
     for spec in specs:
-        def one_run(index: int, rng: RandomSource, spec=spec):
-            values = uniform_initial_values(size, rng.child("values"))
-            simulator = run_average_once(spec, size, values, cycles, rng)
-            return simulator.trace
-
-        traces = repeat_traces(scale.repeats, scale.seed, one_run)
+        plan = RunPlan(
+            topology=spec, size=size, cycles=cycles, values=uniform_initial_values
+        )
+        traces = repeat_traces(scale.repeats, scale.seed, plan=plan)
         curve = variance_reduction_curve(traces)
         for cycle, value in enumerate(curve):
             rows.append(
@@ -334,13 +328,10 @@ def figure4a_watts_strogatz_beta(
     rows = []
     for beta in betas:
         spec = TopologySpec("watts-strogatz", degree=degree, beta=float(beta))
-
-        def one_run(index: int, rng: RandomSource, spec=spec):
-            values = uniform_initial_values(size, rng.child("values"))
-            simulator = run_average_once(spec, size, values, cycles, rng)
-            return simulator.trace
-
-        traces = repeat_traces(scale.repeats, scale.seed, one_run)
+        plan = RunPlan(
+            topology=spec, size=size, cycles=cycles, values=uniform_initial_values
+        )
+        traces = repeat_traces(scale.repeats, scale.seed, plan=plan)
         rows.append(
             {
                 "beta": float(beta),
@@ -373,13 +364,10 @@ def figure4b_newscast_cache_size(
     rows = []
     for cache in cache_sizes:
         spec = _newscast_spec(size, cache=int(cache))
-
-        def one_run(index: int, rng: RandomSource, spec=spec):
-            values = uniform_initial_values(size, rng.child("values"))
-            simulator = run_average_once(spec, size, values, cycles, rng)
-            return simulator.trace
-
-        traces = repeat_traces(scale.repeats, scale.seed, one_run)
+        plan = RunPlan(
+            topology=spec, size=size, cycles=cycles, values=uniform_initial_values
+        )
+        traces = repeat_traces(scale.repeats, scale.seed, plan=plan)
         rows.append(
             {
                 "cache_size": int(cache),
@@ -416,15 +404,19 @@ def figure5_crash_variance(
     rows = []
     for label, spec in specs:
         for probability in crash_probabilities:
-            def one_run(index: int, rng: RandomSource, spec=spec, probability=probability):
-                values = uniform_initial_values(size, rng.child("values"))
-                failure = ProportionalCrashModel(probability) if probability > 0 else None
-                simulator = run_average_once(
-                    spec, size, values, cycles, rng, failure_model=failure
-                )
-                return simulator.trace
-
-            traces = repeat_traces(repeats, scale.seed, one_run)
+            failure_factory = (
+                (lambda probability=probability: ProportionalCrashModel(probability))
+                if probability > 0
+                else None
+            )
+            plan = RunPlan(
+                topology=spec,
+                size=size,
+                cycles=cycles,
+                values=uniform_initial_values,
+                failure_factory=failure_factory,
+            )
+            traces = repeat_traces(repeats, scale.seed, plan=plan)
             if probability > 0.0:
                 measured = normalized_mean_variance(traces, at_cycle=cycles)
             else:
@@ -466,14 +458,17 @@ def figure6a_sudden_death(
     values = peak_values_for_count(size)
     rows = []
     for crash_cycle in crash_cycles:
-        def one_run(index: int, rng: RandomSource, crash_cycle=crash_cycle):
-            failure = SuddenDeathModel(fraction, at_cycle=int(crash_cycle))
-            simulator = run_average_once(
-                spec, size, values, cycles, rng, failure_model=failure
-            )
-            return _count_size_estimate(simulator)
-
-        estimates = repeat_simulations(scale.repeats, scale.seed, one_run)
+        plan = RunPlan(
+            topology=spec,
+            size=size,
+            cycles=cycles,
+            values=values,
+            failure_factory=lambda crash_cycle=crash_cycle: SuddenDeathModel(
+                fraction, at_cycle=int(crash_cycle)
+            ),
+            collect=_count_size_estimate,
+        )
+        estimates = repeat_simulations(scale.repeats, scale.seed, plan=plan)
         finite = [e for e in estimates if math.isfinite(e)]
         rows.append(
             {
@@ -523,14 +518,18 @@ def figure6b_churn(
     values = peak_values_for_count(size)
     rows = []
     for rate in substitution_rates:
-        def one_run(index: int, rng: RandomSource, rate=rate):
-            failure = ChurnModel(int(rate)) if rate > 0 else None
-            simulator = run_average_once(
-                spec, size, values, cycles, rng, failure_model=failure
-            )
-            return _count_size_estimate(simulator)
-
-        estimates = repeat_simulations(scale.repeats, scale.seed, one_run)
+        failure_factory = (
+            (lambda rate=rate: ChurnModel(int(rate))) if rate > 0 else None
+        )
+        plan = RunPlan(
+            topology=spec,
+            size=size,
+            cycles=cycles,
+            values=values,
+            failure_factory=failure_factory,
+            collect=_count_size_estimate,
+        )
+        estimates = repeat_simulations(scale.repeats, scale.seed, plan=plan)
         finite = [e for e in estimates if math.isfinite(e)]
         rows.append(
             {
@@ -569,14 +568,10 @@ def figure7a_link_failures(
     rows = []
     for probability in link_failure_probabilities:
         transport = TransportModel(link_failure_probability=float(probability))
-
-        def one_run(index: int, rng: RandomSource, transport=transport):
-            simulator = run_average_once(
-                spec, size, values, cycles, rng, transport=transport
-            )
-            return simulator.trace
-
-        traces = repeat_traces(scale.repeats, scale.seed, one_run)
+        plan = RunPlan(
+            topology=spec, size=size, cycles=cycles, values=values, transport=transport
+        )
+        traces = repeat_traces(scale.repeats, scale.seed, plan=plan)
         rows.append(
             {
                 "link_failure_probability": float(probability),
@@ -611,14 +606,15 @@ def figure7b_message_loss(
     rows = []
     for fraction in loss_fractions:
         transport = TransportModel(message_loss_probability=float(fraction))
-
-        def one_run(index: int, rng: RandomSource, transport=transport):
-            simulator = run_average_once(
-                spec, size, values, cycles, rng, transport=transport
-            )
-            return _count_node_size_extremes(simulator)
-
-        extremes = repeat_simulations(scale.repeats, scale.seed, one_run)
+        plan = RunPlan(
+            topology=spec,
+            size=size,
+            cycles=cycles,
+            values=values,
+            transport=transport,
+            collect=_count_node_size_extremes,
+        )
+        extremes = repeat_simulations(scale.repeats, scale.seed, plan=plan)
         minima = [low for low, _ in extremes if math.isfinite(low)]
         maxima = [high for _, high in extremes if math.isfinite(high)]
         rows.append(

@@ -14,7 +14,8 @@ import math
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 from ..common.errors import ConfigurationError
 from ..common.rng import RandomSource, derive_seed
@@ -32,8 +33,10 @@ from ..simulator.asynchrony import (
 from ..simulator.epochs import EpochDriver, EpochedRunResult, FailureFactory
 from ..simulator.failures import FailureModel
 from ..simulator.metrics import SimulationTrace
+from ..simulator.replicated import ReplicaConfig, ReplicatedCycleSimulator
 from ..simulator.transport import PERFECT_TRANSPORT, TransportModel
 from ..topology.generators import TopologySpec, build_overlay
+from ..topology.replicated import ReplicatedStaticBlock
 
 __all__ = [
     "uniform_initial_values",
@@ -42,16 +45,24 @@ __all__ = [
     "run_epoched_count",
     "run_async_average",
     "run_async_count",
+    "RunPlan",
     "repeat_traces",
     "repeat_simulations",
+    "sweep",
 ]
 
 T = TypeVar("T")
 
 
 def uniform_initial_values(size: int, rng: RandomSource, low: float = 0.0, high: float = 100.0) -> List[float]:
-    """Uniformly random local values, the generic workload for AVERAGE runs."""
-    return [rng.uniform(low, high) for _ in range(size)]
+    """Uniformly random local values, the generic workload for AVERAGE runs.
+
+    One batched generator call; element ``i`` equals the ``i``-th scalar
+    ``rng.uniform(low, high)`` draw (the generator consumes one double
+    per value either way), so results are unchanged from the historical
+    scalar loop — just a few orders of magnitude cheaper per run.
+    """
+    return rng.generator.uniform(low, high, size).tolist()
 
 
 def peak_values_for_count(size: int, peak_value: Optional[float] = None) -> List[float]:
@@ -221,6 +232,183 @@ def run_async_count(
     return protocol
 
 
+#: A plan's ``values`` field: a static per-node sequence shared by every
+#: repetition, or a factory drawing fresh values per repetition from the
+#: run's ``child("values")`` stream.
+ValuesSpec = Union[Sequence[float], Callable[[int, RandomSource], Sequence[float]]]
+
+
+def _default_collect(simulator) -> SimulationTrace:
+    return simulator.trace
+
+
+@dataclass
+class RunPlan:
+    """Declarative description of one repeated cycle-simulation scenario.
+
+    ``repeat_traces`` / ``repeat_simulations`` can only parallelise an
+    opaque ``make_run`` callable across processes; they cannot *batch*
+    it.  A plan states what one repetition does — topology, size,
+    cycles, values, transport, failures, post-processing — so the
+    repeat helpers can run all repetitions as one stacked
+    :class:`~repro.simulator.replicated.ReplicatedCycleSimulator` when
+    the configuration is fast-path eligible, and fall back to the
+    serial path (via :meth:`serial_run`, byte-compatible with the
+    historical closure-based runs) otherwise.  Both paths consume the
+    same per-repetition child streams, so their results are
+    bit-identical.
+
+    Attributes
+    ----------
+    topology:
+        The overlay specification, built per repetition from
+        ``rng.child("topology")``.
+    size:
+        Number of nodes per repetition.
+    cycles:
+        Cycles to run.
+    values:
+        Initial local values: a static sequence, or a factory
+        ``(size, rng) -> sequence`` fed ``rng.child("values")``.
+    function_factory:
+        Builds each run's aggregation function (default AVERAGE).
+    transport:
+        Communication failure model shared by all repetitions.
+    failure_factory:
+        Builds one *fresh* (stateful) failure model per repetition, or
+        ``None`` for the benign scenario.
+    record_every:
+        Metrics cadence forwarded to the engines.
+    collect:
+        Post-processing applied to each finished simulator (or replica
+        view); defaults to returning the trace.
+    """
+
+    topology: TopologySpec
+    size: int
+    cycles: int
+    values: ValuesSpec
+    function_factory: Callable[[], AggregationFunction] = AverageFunction
+    transport: TransportModel = PERFECT_TRANSPORT
+    failure_factory: Optional[Callable[[], Optional[FailureModel]]] = None
+    record_every: int = 1
+    collect: Callable = field(default=_default_collect)
+
+    # ------------------------------------------------------------------
+    def resolve_values(self, rng: RandomSource) -> List[float]:
+        """One repetition's initial values (factory fed ``child("values")``)."""
+        if callable(self.values):
+            return list(self.values(self.size, rng.child("values")))
+        return list(self.values)
+
+    def _failure_model(self) -> Optional[FailureModel]:
+        return self.failure_factory() if self.failure_factory else None
+
+    def serial_run(self, index: int, rng: RandomSource) -> T:
+        """Run one repetition exactly as the historical closure path did."""
+        overlay = build_overlay(self.topology, self.size, rng.child("topology"))
+        simulator = make_simulator(
+            overlay=overlay,
+            function=self.function_factory(),
+            initial_values=self.resolve_values(rng),
+            rng=rng.child("simulation"),
+            transport=self.transport,
+            failure_model=self._failure_model(),
+            record_every=self.record_every,
+        )
+        simulator.run(self.cycles)
+        return self.collect(simulator)
+
+    def supports_replication(self) -> bool:
+        """Whether the replicated tensor engine can run this plan.
+
+        Mirrors :func:`~repro.simulator.supports_fast_path`: the
+        function must implement the array codec and the overlay family
+        must offer batched peer selection — every static topology, the
+        complete overlay, and array-native NEWSCAST.  Only the
+        dict-based NEWSCAST overlay stays serial.
+        """
+        if not self.function_factory().supports_vectorized():
+            return False
+        if self.topology.kind.lower() == "newscast":
+            return bool(self.topology.params.get("vectorized", False))
+        return True
+
+    def build_replica_overlays(
+        self, rngs: Sequence[RandomSource]
+    ) -> List:
+        """Build every repetition's overlay, block-stacked where possible.
+
+        Replica ``r``'s overlay is drawn from ``rngs[r]`` exactly as
+        :func:`~repro.topology.build_overlay` would draw it, so the
+        graphs match the serial path graph-for-graph.  The "random"
+        family lands in a :class:`ReplicatedStaticBlock` (no per-replica
+        Python graph assembly) and array-native NEWSCAST in a
+        :class:`~repro.newscast.vectorized_cache.ReplicatedNewscastBlock`
+        (shared packed cache matrix, fused maintenance); other families
+        reuse their standard builders, one overlay per replica.
+        """
+        kind = self.topology.kind.lower()
+        if kind == "random":
+            block = ReplicatedStaticBlock.build_k_out(
+                self.size, self.topology.degree, rngs
+            )
+            return [block.view(replica) for replica in range(len(rngs))]
+        if kind in ("regular", "ring-lattice", "watts-strogatz", "scale-free"):
+            # Build each dict-of-sets graph once, pack it into the int32
+            # block and release it, so peak memory holds one graph plus
+            # the block — not R graphs at once.
+            block = ReplicatedStaticBlock.from_builder(
+                len(rngs),
+                lambda replica: build_overlay(self.topology, self.size, rngs[replica]),
+            )
+            return [block.view(replica) for replica in range(len(rngs))]
+        if kind == "newscast" and self.topology.params.get("vectorized", False):
+            extra = {
+                key: value
+                for key, value in self.topology.params.items()
+                if key != "vectorized"
+            }
+            if not extra:
+                # Array-native NEWSCAST with default construction knobs:
+                # stack the packed cache matrices and fuse the warm-ups.
+                from ..newscast.vectorized_cache import ReplicatedNewscastBlock
+
+                block = ReplicatedNewscastBlock.bootstrap(
+                    len(rngs), self.size, self.topology.degree, list(rngs)
+                )
+                return block.views()
+        return [build_overlay(self.topology, self.size, rng) for rng in rngs]
+
+
+def _run_replicated(repeats: int, seed: int, plan: RunPlan) -> List[T]:
+    """Run ``repeats`` repetitions of ``plan`` as one stacked simulation."""
+    if repeats == 0:
+        return []
+    root = RandomSource(seed)
+    run_rngs = [root.child("run", index) for index in range(repeats)]
+    overlays = plan.build_replica_overlays(
+        [rng.child("topology") for rng in run_rngs]
+    )
+    configs = [
+        ReplicaConfig(
+            overlay=overlay,
+            initial_values=plan.resolve_values(rng),
+            rng=rng.child("simulation"),
+            failure_model=plan._failure_model(),
+        )
+        for overlay, rng in zip(overlays, run_rngs)
+    ]
+    engine = ReplicatedCycleSimulator(
+        configs,
+        plan.function_factory(),
+        transport=plan.transport,
+        record_every=plan.record_every,
+    )
+    engine.run(plan.cycles)
+    return [plan.collect(view) for view in engine.views()]
+
+
 def _run_one(make_run: Callable[[int, RandomSource], T], seed: int, index: int) -> T:
     """Execute one repetition with its deterministic child stream.
 
@@ -235,23 +423,30 @@ def _run_one(make_run: Callable[[int, RandomSource], T], seed: int, index: int) 
 def repeat_traces(
     repeats: int,
     seed: int,
-    make_run: Callable[[int, RandomSource], SimulationTrace],
+    make_run: Optional[Callable[[int, RandomSource], SimulationTrace]] = None,
     max_workers: Optional[int] = None,
     executor: str = "process",
+    plan: Optional[RunPlan] = None,
+    engine: str = "auto",
 ) -> List[SimulationTrace]:
     """Run ``make_run`` ``repeats`` times with independent child seeds.
 
-    See :func:`repeat_simulations` for the parallel execution options.
+    See :func:`repeat_simulations` for the parallel execution options and
+    the plan-based replicated fast path.
     """
-    return repeat_simulations(repeats, seed, make_run, max_workers, executor)
+    return repeat_simulations(
+        repeats, seed, make_run, max_workers, executor, plan=plan, engine=engine
+    )
 
 
 def repeat_simulations(
     repeats: int,
     seed: int,
-    make_run: Callable[[int, RandomSource], T],
+    make_run: Optional[Callable[[int, RandomSource], T]] = None,
     max_workers: Optional[int] = None,
     executor: str = "process",
+    plan: Optional[RunPlan] = None,
+    engine: str = "auto",
 ) -> List[T]:
     """Generic repetition helper returning whatever ``make_run`` produces.
 
@@ -265,10 +460,13 @@ def repeat_simulations(
         what order it executes, so parallel results are bit-identical to
         serial ones and the list is always ordered by repetition index.
     make_run:
-        Callable building and running one repetition.
+        Callable building and running one repetition.  Mutually
+        exclusive with ``plan`` (which synthesises its own serial run).
     max_workers:
         ``None``, ``0`` or ``1`` keeps the historical serial behaviour;
-        larger values fan the repetitions out over a worker pool.
+        larger values fan the repetitions out over a worker pool.  Only
+        meaningful for the per-repetition paths — a plan taking the
+        replicated fast path runs as one stacked simulation in-process.
     executor:
         ``"process"`` (default) uses a :class:`ProcessPoolExecutor`,
         side-stepping the GIL for the Python-heavy reference engine;
@@ -278,11 +476,51 @@ def repeat_simulations(
         thread pool (useful when
         ``make_run`` captures unpicklable state and the work releases the
         GIL, e.g. vectorised runs).
+    plan:
+        Optional :class:`RunPlan` describing the repetition
+        declaratively.  Fast-path-eligible plans run all repetitions as
+        one stacked :class:`~repro.simulator.replicated.ReplicatedCycleSimulator`
+        — typically several times faster than serial repeats — with
+        per-repetition results bit-identical to the serial path.
+    engine:
+        ``"auto"`` (default) picks the replicated engine whenever the
+        plan supports it; ``"replicated"`` requires it (raising on
+        ineligible configurations); ``"serial"`` forces the historical
+        per-repetition path.
     """
     if repeats < 0:
         raise ConfigurationError("repeats must be non-negative")
     if executor not in ("process", "thread"):
         raise ConfigurationError(f"unknown executor {executor!r}")
+    if engine not in ("auto", "replicated", "serial"):
+        raise ConfigurationError(f"unknown engine {engine!r}")
+    if plan is None:
+        if make_run is None:
+            raise ConfigurationError("need either make_run or a plan")
+        if engine == "replicated":
+            raise ConfigurationError(
+                "engine='replicated' needs a RunPlan; an opaque make_run "
+                "callable cannot be batched"
+            )
+    else:
+        if make_run is not None:
+            # Ambiguous: the replicated path would use plan.collect while
+            # the serial fallback would use make_run, so the result shape
+            # could flip on an eligibility check the caller never sees.
+            raise ConfigurationError(
+                "pass either make_run or a plan, not both (put per-run "
+                "post-processing in the plan's collect)"
+            )
+        replicable = plan.supports_replication()
+        if engine == "replicated" and not replicable:
+            raise ConfigurationError(
+                "this plan is not fast-path eligible (function without the "
+                "array codec, or an overlay without batched peer selection)"
+            )
+        if engine in ("auto", "replicated") and replicable:
+            return _run_replicated(repeats, seed, plan)
+        if make_run is None:
+            make_run = plan.serial_run
     if max_workers is None or max_workers <= 1 or repeats <= 1:
         root = RandomSource(seed)
         return [make_run(index, root.child("run", index)) for index in range(repeats)]

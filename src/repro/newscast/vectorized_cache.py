@@ -76,6 +76,7 @@ __all__ = [
     "ID_BITS",
     "MAX_NODE_ID",
     "VectorizedNewscastOverlay",
+    "ReplicatedNewscastBlock",
     "merge_packed_pairs",
     "pack_entries",
     "unpack_entries",
@@ -235,6 +236,199 @@ def merge_packed_pairs(
     return new_a, new_b
 
 
+class ReplicatedNewscastBlock:
+    """``R`` array-native NEWSCAST overlays sharing one packed cache block.
+
+    The replicated cycle engine runs ``R`` repetitions of a NEWSCAST
+    scenario side by side; each repetition's overlay draws its own
+    maintenance randomness, but the heavy kernel work — conflict-round
+    scheduling and the packed merge — is identical in shape across
+    replicas.  This block adopts ``R``
+    :class:`VectorizedNewscastOverlay` instances by re-homing their
+    matrices (``_packed``, ``_counts``, ``_id_by_row``) as row slices of
+    one stacked ``(R * rows, c)`` matrix, then runs the whole
+    maintenance round for all replicas as *one* sequence of stacked
+    passes: per-replica peer draws (each from its own stream — the
+    bit-identity anchor), one :func:`ordered_conflict_rounds` over the
+    offset row ids (replicas are row-disjoint, so the stacked rounds
+    refine into each replica's own rounds), and one
+    :func:`merge_packed_pairs` call per round spanning every replica.
+
+    The adopted overlays remain fully functional on their own — churn,
+    joins and scalar queries go through the instance API unchanged,
+    operating on the shared storage.  If an instance ever outgrows its
+    slice (``_grow_rows`` reallocates, detaching it from the block), the
+    stacked pass notices and falls back to that instance's private
+    ``after_cycle`` — correctness never depends on the stacking.
+    """
+
+    def __init__(self, overlays: Sequence["VectorizedNewscastOverlay"]) -> None:
+        if not overlays:
+            raise MembershipError("need at least one overlay to stack")
+        cache_size = overlays[0]._cache_size
+        for overlay in overlays:
+            if overlay._cache_size != cache_size:
+                raise MembershipError("stacked overlays must share the cache size")
+            if overlay.maintenance_block is not None:
+                raise MembershipError("overlay already belongs to a block")
+        self._overlays: List["VectorizedNewscastOverlay"] = list(overlays)
+        self._cache_size = cache_size
+        self._stride = max(overlay._row_capacity for overlay in overlays)
+        count = len(overlays)
+        stride = self._stride
+        self._packed = np.full((count * stride, cache_size), _EMPTY, dtype=np.int64)
+        self._counts = np.zeros(count * stride, dtype=np.int64)
+        self._id_by_row = np.full(count * stride, -1, dtype=np.int64)
+        self._scratch = np.empty(count * stride, dtype=np.int64)
+        for index, overlay in enumerate(overlays):
+            base = index * stride
+            rows = overlay._row_capacity
+            self._packed[base : base + rows] = overlay._packed
+            self._counts[base : base + rows] = overlay._counts
+            self._id_by_row[base : base + rows] = overlay._id_by_row
+            overlay._packed = self._packed[base : base + stride]
+            overlay._counts = self._counts[base : base + stride]
+            overlay._id_by_row = self._id_by_row[base : base + stride]
+            if rows < stride:
+                grown = np.full(stride, -1, dtype=np.int64)
+                grown[:rows] = overlay._row_pos
+                overlay._row_pos = grown
+                grown = np.full(stride, -1, dtype=np.int64)
+                grown[:rows] = overlay._alive_rows
+                overlay._alive_rows = grown
+            overlay._row_capacity = stride
+            overlay.maintenance_block = self
+            overlay.block_index = index
+
+    @classmethod
+    def bootstrap(
+        cls,
+        count: int,
+        size: int,
+        cache_size: int,
+        rngs: Sequence[RandomSource],
+        warmup_cycles: int = 5,
+    ) -> "ReplicatedNewscastBlock":
+        """Bootstrap ``count`` replicas with stacked warm-up rounds.
+
+        Replica ``r`` draws its initial caches and every warm-up round
+        from ``rngs[r]`` exactly as ``VectorizedNewscastOverlay.bootstrap``
+        would, so each adopted overlay is bit-identical to a standalone
+        bootstrap from the same stream — only the warm-up kernel work is
+        fused across replicas.
+        """
+        if len(rngs) != count:
+            raise MembershipError("need one bootstrap stream per replica")
+        overlays = [
+            VectorizedNewscastOverlay.bootstrap(
+                size, cache_size, rng, warmup_cycles=0
+            )
+            for rng in rngs
+        ]
+        block = cls(overlays)
+        for _ in range(max(0, int(warmup_cycles))):
+            block.after_cycle_stacked(list(zip(overlays, rngs)))
+        return block
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self) -> int:
+        """Number of adopted overlays."""
+        return len(self._overlays)
+
+    @property
+    def stride(self) -> int:
+        """Block rows reserved per replica."""
+        return self._stride
+
+    def overlay(self, replica: int) -> "VectorizedNewscastOverlay":
+        """The adopted overlay of one replica."""
+        return self._overlays[replica]
+
+    def views(self) -> List["VectorizedNewscastOverlay"]:
+        """All adopted overlays, in replica order."""
+        return list(self._overlays)
+
+    def _attached(self, overlay: "VectorizedNewscastOverlay") -> bool:
+        """Whether the overlay's matrices still live inside the block."""
+        return (
+            overlay._row_capacity == self._stride
+            and np.shares_memory(overlay._packed, self._packed)
+        )
+
+    # ------------------------------------------------------------------
+    # The stacked maintenance round
+    # ------------------------------------------------------------------
+    def after_cycle_stacked(
+        self,
+        pairs: Sequence[tuple],
+    ) -> None:
+        """Run one maintenance round for every ``(overlay, rng)`` pair.
+
+        Peer draws come from each replica's own stream (bit-identical to
+        calling ``overlay.after_cycle(rng)`` one by one); the conflict
+        scheduling and the packed merges run once over the stacked rows.
+        """
+        from ..simulator.sampling import ordered_conflict_rounds
+
+        stacked_initiators = []
+        stacked_peers = []
+        clock = None
+        for overlay, rng in pairs:
+            if not self._attached(overlay):
+                # Detached (grew beyond its slice): private maintenance.
+                overlay.after_cycle(rng)
+                continue
+            replica = overlay.block_index
+            initiators, peer_rows = overlay._draw_maintenance_round(rng)
+            if clock is None:
+                clock = overlay._clock
+            elif overlay._clock != clock:
+                # Clocks diverged (caller drove an overlay on its own);
+                # the shared `now` stamp would be wrong — run privately.
+                overlay._apply_maintenance_round(initiators, peer_rows)
+                continue
+            base = replica * self._stride
+            if initiators.size:
+                stacked_initiators.append(initiators + base)
+                stacked_peers.append(peer_rows + base)
+        if not stacked_initiators or clock is None:
+            return
+        initiators = np.concatenate(stacked_initiators)
+        peer_rows = np.concatenate(stacked_peers)
+        rounds = ordered_conflict_rounds(
+            initiators, peer_rows, self._scratch, track_positions=False
+        )
+        capacity = self._cache_size
+        for batch_a, batch_b, _ in rounds:
+            new_a, new_b = merge_packed_pairs(
+                self._packed[batch_a],
+                self._packed[batch_b],
+                self._id_by_row[batch_a],
+                self._id_by_row[batch_b],
+                clock,
+                capacity,
+                ts_bound=clock,
+            )
+            self._packed[batch_a] = new_a
+            self._packed[batch_b] = new_b
+        # One deferred count refresh per replica (cheap row slices).
+        for overlay, _ in pairs:
+            if self._attached(overlay):
+                rows = overlay._alive_rows[: overlay._alive_count]
+                overlay._counts[rows] = np.count_nonzero(
+                    overlay._packed[rows] >= 0, axis=1
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplicatedNewscastBlock(replicas={len(self._overlays)}, "
+            f"stride={self._stride}, c={self._cache_size})"
+        )
+
+
 class VectorizedNewscastOverlay(OverlayProvider):
     """NEWSCAST maintained as struct-of-arrays matrices.
 
@@ -262,6 +456,13 @@ class VectorizedNewscastOverlay(OverlayProvider):
         self.name = f"newscast-array(c={cache_size})"
         #: Number of NEWSCAST exchanges performed in the most recent cycle.
         self.last_cycle_exchanges = 0
+        #: The :class:`ReplicatedNewscastBlock` this overlay's matrices
+        #: live in (plus this overlay's replica position), or ``None``
+        #: for a standalone overlay.  Set by the block on adoption; the
+        #: replicated engine uses it to fuse the maintenance rounds of
+        #: co-located replicas.
+        self.maintenance_block: Optional["ReplicatedNewscastBlock"] = None
+        self.block_index = -1
 
         self._row_capacity = 0
         self._packed = np.empty((0, self._cache_size), dtype=np.int64)
@@ -331,22 +532,11 @@ class VectorizedNewscastOverlay(OverlayProvider):
                 draws[draws >= node] += 1
                 peers[node] = draws
             return peers
-        generator = rng.generator
-        draws = generator.integers(0, size - 1, size=(size, fill), dtype=np.int64)
-        draws.sort(axis=1)
-        for _ in range(64):
-            duplicate = np.zeros((size, fill), dtype=bool)
-            duplicate[:, 1:] = draws[:, 1:] == draws[:, :-1]
-            count = int(np.count_nonzero(duplicate))
-            if count == 0:
-                break
-            draws[duplicate] = generator.integers(0, size - 1, size=count, dtype=np.int64)
-            draws.sort(axis=1)
-        else:  # pragma: no cover - astronomically unlikely at this size
-            raise MembershipError("bootstrap sampling failed to produce distinct peers")
-        rows = np.arange(size, dtype=np.int64)[:, None]
-        draws[draws >= rows] += 1
-        return draws
+        # The batched redraw-until-distinct sampler shared with the k-out
+        # topology builder (identical stream consumption).
+        from ..topology.replicated import sample_distinct_peers
+
+        return sample_distinct_peers(size, fill, rng.generator)
 
     # ------------------------------------------------------------------
     # OverlayProvider interface
@@ -457,13 +647,26 @@ class VectorizedNewscastOverlay(OverlayProvider):
         sequential read-after-write semantics via
         :func:`~repro.simulator.sampling.ordered_conflict_rounds`.
         """
-        from ..simulator.sampling import ordered_conflict_rounds
+        initiators, peer_rows = self._draw_maintenance_round(rng)
+        self._apply_maintenance_round(initiators, peer_rows)
 
+    def _draw_maintenance_round(
+        self, rng: RandomSource
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance the clock and draw one round's exchange endpoints.
+
+        This is the stream-consuming half of :meth:`after_cycle`, kept
+        separate so :class:`ReplicatedNewscastBlock` can draw every
+        replica's round from its own stream and then apply all rounds as
+        one stacked pass.  Returns ``(initiator_rows, peer_rows)`` of
+        the usable exchanges (empty arrays when nobody can gossip).
+        """
         self._clock += 1
         count = self._alive_count
         if count == 0:
             self.last_cycle_exchanges = 0
-            return
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
         generator = rng.generator
         initiators = self._alive_rows[:count][generator.permutation(count)]
         cache_sizes = self._counts[initiators]
@@ -477,6 +680,14 @@ class VectorizedNewscastOverlay(OverlayProvider):
         initiators = initiators[usable]
         peer_rows = peer_rows[usable]
         self.last_cycle_exchanges = int(initiators.size)
+        return initiators, peer_rows
+
+    def _apply_maintenance_round(
+        self, initiators: np.ndarray, peer_rows: np.ndarray
+    ) -> None:
+        """Apply one drawn maintenance round to this overlay's own rows."""
+        from ..simulator.sampling import ordered_conflict_rounds
+
         if initiators.size == 0:
             return
         if self._scratch.size < self._row_capacity:

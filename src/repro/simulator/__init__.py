@@ -54,7 +54,14 @@ from .metrics import (
     empirical_variance,
     summarize_traces,
 )
-from .sampling import CyclePlan, draw_cycle_plan, ordered_conflict_rounds
+from .replicated import ReplicaConfig, ReplicatedCycleSimulator, ReplicaView
+from .sampling import (
+    CyclePlan,
+    StackedCyclePlan,
+    draw_cycle_plan,
+    ordered_conflict_rounds,
+    stack_cycle_plans,
+)
 from .transport import (
     PERFECT_TRANSPORT,
     DelayModel,
@@ -66,6 +73,9 @@ from .vectorized import VectorizedCycleSimulator
 __all__ = [
     "CycleSimulator",
     "VectorizedCycleSimulator",
+    "ReplicatedCycleSimulator",
+    "ReplicaConfig",
+    "ReplicaView",
     "AsyncPracticalSimulator",
     "AsyncProtocol",
     "AsyncAverageProtocol",
@@ -99,7 +109,9 @@ __all__ = [
     "CycleRecord",
     "SimulationTrace",
     "CyclePlan",
+    "StackedCyclePlan",
     "draw_cycle_plan",
+    "stack_cycle_plans",
     "ordered_conflict_rounds",
     "empirical_mean",
     "empirical_variance",

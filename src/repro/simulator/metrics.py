@@ -21,9 +21,49 @@ from ..common.errors import SimulationError
 __all__ = [
     "empirical_mean",
     "empirical_variance",
+    "estimate_statistics",
     "CycleRecord",
     "SimulationTrace",
 ]
+
+
+def estimate_statistics(estimates: np.ndarray) -> tuple:
+    """``(mean, variance, minimum, maximum)`` of one estimate population.
+
+    The per-cycle reduction both array engines record: NaN marks "no
+    estimate yet" and infinities (COUNT before the peak arrives) are
+    excluded, exactly like :func:`empirical_mean` / the reference
+    engine's finite filter.  Finite extremes certify the whole array —
+    NaN poisons ``min`` and infinities show up in ``max``/``min`` — so
+    the common all-finite case skips the filter pass.  Splitting a
+    stacked replica block and applying this per replica therefore
+    reproduces the serial records bit-for-bit.
+
+    Parameters
+    ----------
+    estimates:
+        Float64 estimate array of one population (one run, or one
+        replica's slice of a stacked run).
+    """
+    if estimates.size == 0:
+        return math.nan, 0.0, math.nan, math.nan
+    minimum = float(np.min(estimates))
+    maximum = float(np.max(estimates))
+    if math.isfinite(minimum) and math.isfinite(maximum):
+        finite = estimates
+    else:
+        finite = estimates[np.isfinite(estimates)]
+        if not finite.size:
+            return math.nan, 0.0, math.nan, math.nan
+        minimum = float(np.min(finite))
+        maximum = float(np.max(finite))
+    mean = float(np.mean(finite))
+    if finite.size >= 2:
+        deviations = finite - mean
+        variance = float(deviations.dot(deviations) / (finite.size - 1))
+    else:
+        variance = 0.0
+    return mean, variance, minimum, maximum
 
 
 def empirical_mean(values: Sequence[float]) -> float:

@@ -1,0 +1,660 @@
+"""Replica-batched tensor engine: R repetitions as one stacked simulation.
+
+Every figure of the paper is a sweep of repeats × parameter points —
+e.g. 50 independent runs per plotted value.  After the vectorised fast
+path made a *single* run cheap, the experiment layer still launched each
+repetition as its own engine instance, serially.  This module batches
+the replication axis itself: a :class:`ReplicatedCycleSimulator` holds
+``R`` independent repetitions in one stacked state tensor (block layout
+``(R * stride, width)``, replica ``r``'s node ``u`` at row
+``r * stride + u``) and executes the heavy per-cycle passes — conflict
+scheduling, gather/merge/scatter rounds, transport filtering, metric
+extraction — once across the whole block.
+
+Bit-identity contract
+---------------------
+Each replica keeps its *own* random streams: replica ``r`` is
+constructed from the same ``root.child("run", r)`` stream the serial
+``repeat_traces`` helper hands to run ``r``, and every cycle draws that
+replica's plan (shuffle, peer choices, transport outcomes) and failure
+injections from those streams through the very same code paths
+(:func:`~repro.simulator.sampling.draw_cycle_plan`, the public
+membership API).  Only the *execution* is fused: the per-replica plans
+are stacked with block offsets
+(:func:`~repro.simulator.sampling.stack_cycle_plans`), scheduled with
+one :func:`~repro.simulator.sampling.ordered_conflict_rounds` pass
+(replicas are node-disjoint, so the stacked rounds refine into exactly
+the per-replica rounds), and merged with the shared
+:func:`~repro.simulator.vectorized.apply_merge_rounds` kernel, whose
+arithmetic is elementwise per exchange.  Every replica's trace and
+final states are therefore **bit-identical** to what the serial fast
+path produces for the same root seed — asserted run-for-run by the
+equivalence suite.
+
+Use :func:`~repro.experiments.runner.repeat_traces` with a
+:class:`~repro.experiments.runner.RunPlan` to get this engine
+automatically; it falls back to the serial path whenever a
+configuration is not fast-path eligible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..common.errors import ConfigurationError, SimulationError
+from ..common.rng import RandomSource
+from ..core.functions import AggregationFunction
+from ..topology.base import OverlayProvider
+from .cycle_sim import CycleSimulator, InitialValues
+from .failures import FailureModel, NoFailures
+from .metrics import CycleRecord, SimulationTrace, estimate_statistics
+from .sampling import draw_cycle_plan, stack_cycle_plans
+from .transport import PERFECT_TRANSPORT, TransportModel
+from .vectorized import apply_merge_rounds, effective_exchange_filter
+
+__all__ = ["ReplicaConfig", "ReplicatedCycleSimulator", "ReplicaView"]
+
+
+@dataclass
+class ReplicaConfig:
+    """Everything one repetition needs, mirroring a serial engine build.
+
+    Attributes
+    ----------
+    overlay:
+        The replica's own overlay (a block view or a standalone overlay
+        with ``select_peers_batch``).
+    initial_values:
+        Per-node initial values, sequence or mapping — the same formats
+        :class:`~repro.simulator.cycle_sim.CycleSimulator` accepts.
+    rng:
+        The replica's simulation stream — pass the same
+        ``root.child("run", i).child("simulation")`` stream the serial
+        path would hand to its engine, and the replica reproduces that
+        run bit-for-bit.
+    failure_model:
+        The replica's own (stateful) failure model instance, or ``None``.
+    """
+
+    overlay: OverlayProvider
+    initial_values: InitialValues
+    rng: RandomSource
+    failure_model: Optional[FailureModel] = None
+
+
+class _Replica:
+    """Internal per-replica bookkeeping of the stacked engine."""
+
+    __slots__ = (
+        "overlay",
+        "selection_rng",
+        "transport_rng",
+        "failure_rng",
+        "overlay_rng",
+        "membership_rng",
+        "failure_model",
+        "next_node_id",
+        "crashed",
+        "trace",
+        "pending_completed",
+        "pending_failed",
+        "participants_cache",
+    )
+
+    def __init__(self, config: ReplicaConfig) -> None:
+        self.overlay = config.overlay
+        rng = config.rng
+        # The exact child-stream fan-out of the serial engines.
+        self.selection_rng = rng.child("selection")
+        self.transport_rng = rng.child("transport")
+        self.failure_rng = rng.child("failures")
+        self.overlay_rng = rng.child("overlay")
+        self.membership_rng = rng.child("membership")
+        self.failure_model = config.failure_model or NoFailures()
+        self.next_node_id = 0
+        self.crashed: set = set()
+        self.trace = SimulationTrace()
+        self.pending_completed = 0
+        self.pending_failed = 0
+        self.participants_cache: Optional[np.ndarray] = None
+
+
+class ReplicatedCycleSimulator:
+    """Run ``R`` independent repetitions as one stacked tensor simulation.
+
+    Parameters
+    ----------
+    replicas:
+        One :class:`ReplicaConfig` per repetition.  Every overlay must
+        support batched peer selection and the function must implement
+        the array codec (the same eligibility rule as the serial fast
+        path).
+    function:
+        The aggregation function shared by all repetitions (aggregation
+        functions are stateless; per-replica state lives in the tensor).
+    transport:
+        Communication failure model (outcomes are still drawn from each
+        replica's own transport stream).
+    record_every:
+        Per-cycle metrics cadence, as in the serial engines.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[ReplicaConfig],
+        function: AggregationFunction,
+        transport: TransportModel = PERFECT_TRANSPORT,
+        record_every: int = 1,
+    ) -> None:
+        if not replicas:
+            raise ConfigurationError("need at least one replica")
+        if not function.supports_vectorized():
+            raise ConfigurationError(
+                f"{type(function).__name__} does not implement the array codec; "
+                "use the serial repeat path instead"
+            )
+        if record_every < 1:
+            raise ConfigurationError("record_every must be at least 1")
+        self._function = function
+        self._transport = transport
+        self._record_every = int(record_every)
+        self._width = function.state_width()
+        self._count = len(replicas)
+        self._replicas: List[_Replica] = []
+
+        node_sets = []
+        stride = 1
+        for config in replicas:
+            if not hasattr(config.overlay, "select_peers_batch"):
+                raise ConfigurationError(
+                    f"overlay {type(config.overlay).__name__} has no batched peer "
+                    "selection; the replicated engine cannot drive it"
+                )
+            node_ids = config.overlay.node_ids()
+            node_sets.append(node_ids)
+            if node_ids:
+                stride = max(stride, max(node_ids) + 1)
+        self._stride = stride
+        capacity = self._count * stride
+        self._states = np.zeros((capacity, self._width), dtype=np.float64)
+        self._participant_mask = np.zeros(capacity, dtype=bool)
+        self._non_participant_mask = np.zeros(capacity, dtype=bool)
+        self._scratch = np.empty(capacity, dtype=np.int64)
+
+        for index, (config, node_ids) in enumerate(zip(replicas, node_sets)):
+            replica = _Replica(config)
+            replica.next_node_id = max(node_ids) + 1 if node_ids else 0
+            self._replicas.append(replica)
+            if not node_ids:
+                continue
+            base = index * stride
+            count = len(node_ids)
+            initial = config.initial_values
+            # Overlays report their ids sorted, so first == 0 and
+            # last == n - 1 certify the dense 0..n-1 id space — the
+            # common case, initialised with one contiguous block write.
+            if (
+                not isinstance(initial, Mapping)
+                and len(initial) == count
+                and node_ids[0] == 0
+                and node_ids[-1] == count - 1
+            ):
+                self._states[base : base + count] = function.initial_state_array(
+                    np.asarray(initial, dtype=np.float64)
+                )
+                self._participant_mask[base : base + count] = True
+                continue
+            values = CycleSimulator._normalise_initial_values(initial, node_ids)
+            ordered = np.asarray(sorted(node_ids), dtype=np.int64)
+            rows = base + ordered
+            ordered_values = [values[int(node)] for node in ordered]
+            self._states[rows] = function.initial_state_array(
+                np.asarray(ordered_values, dtype=np.float64)
+            )
+            self._participant_mask[rows] = True
+
+        self._cycle_index = 0
+        self._views = [ReplicaView(self, index) for index in range(self._count)]
+        self._last_eff_initiators = np.empty(0, dtype=np.int64)
+        self._last_eff_peers = np.empty(0, dtype=np.int64)
+        self._last_eff_bounds = np.zeros(self._count + 1, dtype=np.int64)
+        self._flush_records()
+
+    # ------------------------------------------------------------------
+    # Public accessors
+    # ------------------------------------------------------------------
+    @property
+    def function(self) -> AggregationFunction:
+        """The aggregation function shared by all replicas."""
+        return self._function
+
+    @property
+    def cycle_index(self) -> int:
+        """Number of cycles executed so far (shared by all replicas)."""
+        return self._cycle_index
+
+    @property
+    def replica_count(self) -> int:
+        """Number of stacked repetitions."""
+        return self._count
+
+    @property
+    def stride(self) -> int:
+        """Block rows reserved per replica."""
+        return self._stride
+
+    def views(self) -> List["ReplicaView"]:
+        """Per-replica facades mirroring the serial simulator API."""
+        return list(self._views)
+
+    def view(self, replica: int) -> "ReplicaView":
+        """The facade of one replica."""
+        return self._views[replica]
+
+    def traces(self) -> List[SimulationTrace]:
+        """Per-replica traces, in replica order."""
+        return [replica.trace for replica in self._replicas]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, cycles: int) -> List[SimulationTrace]:
+        """Run ``cycles`` cycles across every replica; return the traces.
+
+        With ``record_every > 1`` the final executed cycle is always
+        recorded, so each trace's ``final`` reflects the end of the run.
+        """
+        if cycles < 0:
+            raise ConfigurationError("cycles must be non-negative")
+        for _ in range(cycles):
+            self.run_cycle()
+        if self._replicas[0].trace.final.cycle != self._cycle_index:
+            self._flush_records()
+        return self.traces()
+
+    def run_cycle(self) -> None:
+        """Execute one full cycle for every replica in stacked form."""
+        self._cycle_index += 1
+        for view, replica in zip(self._views, self._replicas):
+            replica.failure_model.apply(view, self._cycle_index, replica.failure_rng)
+
+        # Per-replica randomness, exactly as the serial engines draw it.
+        plans = [
+            draw_cycle_plan(
+                replica.overlay,
+                self._participants_local(index),
+                replica.selection_rng,
+                self._transport,
+                replica.transport_rng,
+            )
+            for index, replica in enumerate(self._replicas)
+        ]
+        offsets = [index * self._stride for index in range(self._count)]
+        stacked = stack_cycle_plans(plans, offsets)
+
+        participants_total = int(np.count_nonzero(self._participant_mask))
+        eff_initiators, eff_peers, eff_completed, effective_index = (
+            effective_exchange_filter(
+                stacked.initiators,
+                stacked.peers,
+                stacked.outcomes,
+                self._participant_mask,
+                all_present=participants_total == self._participant_mask.size,
+                perfect=self._transport.is_perfect(),
+            )
+        )
+        apply_merge_rounds(
+            self._states,
+            self._function,
+            eff_initiators,
+            eff_peers,
+            eff_completed,
+            self._scratch,
+        )
+
+        # Split the stacked exchange ledger back into per-replica counts:
+        # effective slots are ascending, so each replica owns a contiguous
+        # range found with one searchsorted over the slot boundaries.
+        if effective_index is None:
+            eff_bounds = stacked.bounds
+        else:
+            eff_bounds = np.searchsorted(effective_index, stacked.bounds)
+        for index, replica in enumerate(self._replicas):
+            low, high = int(eff_bounds[index]), int(eff_bounds[index + 1])
+            if eff_completed is None:
+                completed = high - low
+            else:
+                completed = int(np.count_nonzero(eff_completed[low:high]))
+            slots = int(stacked.bounds[index + 1] - stacked.bounds[index])
+            replica.pending_completed += completed
+            replica.pending_failed += slots - completed
+
+        # Overlay maintenance: replicas whose overlays share a stacked
+        # maintenance block (array-native NEWSCAST) run their rounds as
+        # one fused pass; standalone overlays maintain themselves.  Each
+        # replica's randomness still comes from its own stream either way.
+        fused: Dict[int, tuple] = {}
+        for replica in self._replicas:
+            block = getattr(replica.overlay, "maintenance_block", None)
+            if block is None:
+                replica.overlay.after_cycle(replica.overlay_rng)
+            else:
+                fused.setdefault(id(block), (block, []))[1].append(
+                    (replica.overlay, replica.overlay_rng)
+                )
+        for block, pairs in fused.values():
+            block.after_cycle_stacked(pairs)
+
+        self._last_eff_initiators = eff_initiators
+        self._last_eff_peers = eff_peers
+        self._last_eff_bounds = eff_bounds
+
+        if self._cycle_index % self._record_every == 0:
+            self._flush_records()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _participants_local(self, index: int) -> np.ndarray:
+        """Sorted local participant ids of one replica, cached."""
+        replica = self._replicas[index]
+        if replica.participants_cache is None:
+            base = index * self._stride
+            replica.participants_cache = np.flatnonzero(
+                self._participant_mask[base : base + self._stride]
+            )
+        return replica.participants_cache
+
+    def _flush_records(self) -> None:
+        for index, replica in enumerate(self._replicas):
+            participants = self._participants_local(index)
+            if participants.size:
+                block = self._states[index * self._stride + participants]
+                estimates = self._function.estimate_array(block)
+            else:
+                estimates = np.empty(0, dtype=np.float64)
+            mean, variance, minimum, maximum = estimate_statistics(estimates)
+            replica.trace.add(
+                CycleRecord(
+                    cycle=self._cycle_index,
+                    participant_count=int(participants.size),
+                    mean=mean,
+                    variance=variance,
+                    minimum=minimum,
+                    maximum=maximum,
+                    completed_exchanges=replica.pending_completed,
+                    failed_exchanges=replica.pending_failed,
+                )
+            )
+            replica.pending_completed = 0
+            replica.pending_failed = 0
+
+    def _encode_value(self, value: Any) -> np.ndarray:
+        return self._function.initial_state_array(
+            np.asarray([value], dtype=np.float64)
+        )[0]
+
+    def _ensure_stride(self, local_id: int) -> None:
+        """Grow the per-replica row capacity to fit ``local_id``."""
+        if local_id < self._stride:
+            return
+        new_stride = max(self._stride * 2, local_id + 1)
+        capacity = self._count * new_stride
+        # The last cycle's exchange ledger holds block rows under the old
+        # stride; remap them so last_cycle_contact_counts stays valid
+        # after growth (the serial engine's ledger survives its capacity
+        # growth the same way — ids there never move).
+        for name in ("_last_eff_initiators", "_last_eff_peers"):
+            rows = getattr(self, name)
+            if rows.size:
+                setattr(
+                    self,
+                    name,
+                    (rows // self._stride) * new_stride + rows % self._stride,
+                )
+        states = np.zeros((capacity, self._width), dtype=np.float64)
+        participant = np.zeros(capacity, dtype=bool)
+        non_participant = np.zeros(capacity, dtype=bool)
+        for index in range(self._count):
+            old = index * self._stride
+            new = index * new_stride
+            states[new : new + self._stride] = self._states[old : old + self._stride]
+            participant[new : new + self._stride] = self._participant_mask[
+                old : old + self._stride
+            ]
+            non_participant[new : new + self._stride] = self._non_participant_mask[
+                old : old + self._stride
+            ]
+        self._states = states
+        self._participant_mask = participant
+        self._non_participant_mask = non_participant
+        self._scratch = np.empty(capacity, dtype=np.int64)
+        self._stride = new_stride
+        for replica in self._replicas:
+            replica.participants_cache = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplicatedCycleSimulator(replicas={self._count}, "
+            f"stride={self._stride}, function={self._function.name}, "
+            f"cycle={self._cycle_index})"
+        )
+
+
+class ReplicaView:
+    """One replica of the stacked engine, wearing the serial simulator API.
+
+    Failure models, experiment plumbing and post-processing helpers
+    (`trace`, `estimates()`, `states()`, membership operations...) treat
+    a view exactly like a :class:`VectorizedCycleSimulator` for that
+    repetition — which is what lets stateful failure models drive each
+    replica through the identical public surface, and what lets figure
+    code collect per-replica results without knowing about the block.
+    """
+
+    def __init__(self, engine: ReplicatedCycleSimulator, index: int) -> None:
+        self._engine = engine
+        self._index = index
+
+    # -- identification ------------------------------------------------
+    @property
+    def replica_index(self) -> int:
+        """Position of this replica in the stacked engine."""
+        return self._index
+
+    @property
+    def overlay(self) -> OverlayProvider:
+        """The replica's own overlay."""
+        return self._engine._replicas[self._index].overlay
+
+    @property
+    def function(self) -> AggregationFunction:
+        """The aggregation function in use."""
+        return self._engine._function
+
+    @property
+    def trace(self) -> SimulationTrace:
+        """The replica's per-cycle measurement trace."""
+        return self._engine._replicas[self._index].trace
+
+    @property
+    def cycle_index(self) -> int:
+        """Number of cycles executed so far."""
+        return self._engine._cycle_index
+
+    # -- internals shared by the accessors -----------------------------
+    @property
+    def _replica(self) -> _Replica:
+        return self._engine._replicas[self._index]
+
+    @property
+    def _base(self) -> int:
+        return self._index * self._engine._stride
+
+    def _participants(self) -> np.ndarray:
+        return self._engine._participants_local(self._index)
+
+    def _invalidate(self) -> None:
+        self._engine._replicas[self._index].participants_cache = None
+
+    # -- state accessors ------------------------------------------------
+    def participant_ids(self) -> List[int]:
+        """Identifiers of the nodes participating in the current epoch."""
+        return [int(node) for node in self._participants()]
+
+    def non_participant_ids(self) -> List[int]:
+        """Identifiers of joined nodes waiting for the next epoch."""
+        engine = self._engine
+        base = self._base
+        return [
+            int(node)
+            for node in np.flatnonzero(
+                engine._non_participant_mask[base : base + engine._stride]
+            )
+        ]
+
+    def crashed_ids(self) -> List[int]:
+        """Identifiers of nodes that crashed during this run."""
+        return sorted(self._replica.crashed)
+
+    def state_of(self, node_id: int) -> Any:
+        """The protocol state currently held by ``node_id``."""
+        if not self._is_participant(node_id):
+            raise SimulationError(f"node {node_id} is not participating")
+        return self._engine._function.decode_state(
+            self._engine._states[self._base + node_id]
+        )
+
+    def states(self) -> Dict[int, Any]:
+        """Mapping from participant id to (decoded) protocol state."""
+        decode = self._engine._function.decode_state
+        base = self._base
+        return {
+            int(node): decode(self._engine._states[base + node])
+            for node in self._participants()
+        }
+
+    def state_array(self) -> np.ndarray:
+        """The raw ``(participants, width)`` state block, in id order."""
+        return self._engine._states[self._base + self._participants()].copy()
+
+    def estimates(self) -> Dict[int, Optional[float]]:
+        """Current aggregate estimate at every participating node."""
+        participants = self._participants()
+        if participants.size == 0:
+            return {}
+        values = self._engine._function.estimate_array(
+            self._engine._states[self._base + participants]
+        )
+        return {
+            int(node): (None if math.isnan(value) else float(value))
+            for node, value in zip(participants, values)
+        }
+
+    def finite_estimates(self) -> List[float]:
+        """All current estimates that are actual finite numbers."""
+        participants = self._participants()
+        if participants.size == 0:
+            return []
+        values = self._engine._function.estimate_array(
+            self._engine._states[self._base + participants]
+        )
+        return values[np.isfinite(values)].tolist()
+
+    @property
+    def last_cycle_contact_counts(self) -> Dict[int, int]:
+        """Per-node exchange participation counts of the last cycle."""
+        engine = self._engine
+        low = int(engine._last_eff_bounds[self._index])
+        high = int(engine._last_eff_bounds[self._index + 1])
+        base = self._base
+        touched = np.concatenate(
+            [
+                engine._last_eff_initiators[low:high] - base,
+                engine._last_eff_peers[low:high] - base,
+            ]
+        )
+        counts = np.bincount(touched, minlength=engine._stride)
+        return {int(node): int(counts[node]) for node in self._participants()}
+
+    # -- membership operations ------------------------------------------
+    def crash_node(self, node_id: int) -> None:
+        """Remove a node: its state becomes permanently inaccessible."""
+        replica = self._replica
+        if node_id in replica.crashed:
+            return
+        engine = self._engine
+        if 0 <= node_id < engine._stride:
+            row = self._base + node_id
+            engine._participant_mask[row] = False
+            engine._non_participant_mask[row] = False
+            self._invalidate()
+        replica.crashed.add(node_id)
+        replica.overlay.on_node_removed(node_id)
+
+    def add_node(self, value: Any = 0.0, participating: bool = False) -> int:
+        """Add a brand-new node to this replica's overlay."""
+        replica = self._replica
+        engine = self._engine
+        node_id = replica.next_node_id
+        replica.next_node_id += 1
+        engine._ensure_stride(node_id)
+        replica.overlay.on_node_added(node_id, replica.membership_rng)
+        row = self._base + node_id
+        if participating:
+            engine._states[row] = engine._encode_value(value)
+            engine._participant_mask[row] = True
+            self._invalidate()
+        else:
+            engine._non_participant_mask[row] = True
+        return node_id
+
+    def promote_non_participants(
+        self, values: Optional[Mapping[int, Any]] = None
+    ) -> List[int]:
+        """Let all waiting nodes join the protocol (an epoch restart)."""
+        engine = self._engine
+        base = self._base
+        promoted = np.flatnonzero(
+            engine._non_participant_mask[base : base + engine._stride]
+        )
+        for node in promoted:
+            node_id = int(node)
+            value = 0.0 if values is None else values.get(node_id, 0.0)
+            engine._states[base + node_id] = engine._encode_value(value)
+        engine._participant_mask[base + promoted] = True
+        engine._non_participant_mask[base + promoted] = False
+        if promoted.size:
+            self._invalidate()
+        return [int(node) for node in promoted]
+
+    def restart_epoch(self, values: Mapping[int, Any]) -> None:
+        """Re-initialise every participant's state from fresh local values."""
+        self.promote_non_participants()
+        engine = self._engine
+        participants = self._participants()
+        fresh = []
+        for node in participants:
+            node_id = int(node)
+            if node_id not in values:
+                raise ConfigurationError(f"missing restart value for node {node_id}")
+            fresh.append(values[node_id])
+        if participants.size:
+            engine._states[self._base + participants] = (
+                engine._function.initial_state_array(
+                    np.asarray(fresh, dtype=np.float64)
+                )
+            )
+
+    def _is_participant(self, node_id: int) -> bool:
+        engine = self._engine
+        return 0 <= node_id < engine._stride and bool(
+            engine._participant_mask[self._base + node_id]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReplicaView(replica={self._index}, engine={self._engine!r})"

@@ -23,7 +23,7 @@ semantics of the reference engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,7 +31,13 @@ from ..common.rng import RandomSource
 from ..topology.base import OverlayProvider
 from .transport import TransportModel
 
-__all__ = ["CyclePlan", "draw_cycle_plan", "ordered_conflict_rounds"]
+__all__ = [
+    "CyclePlan",
+    "StackedCyclePlan",
+    "draw_cycle_plan",
+    "stack_cycle_plans",
+    "ordered_conflict_rounds",
+]
 
 #: Grow-only rank templates shared by every peel call.  All three
 #: templates are prefix-sliceable (the length-k prefix of a larger
@@ -127,6 +133,62 @@ def draw_cycle_plan(
         )
     outcomes = transport.classify_exchanges(transport_rng, count)
     return CyclePlan(initiators=initiators, peers=peers, outcomes=outcomes)
+
+
+@dataclass(frozen=True)
+class StackedCyclePlan:
+    """``R`` replicas' cycle plans fused into one block-offset schedule.
+
+    Replica ``r``'s exchanges occupy slot range
+    ``[bounds[r], bounds[r + 1])`` of the stacked arrays, with node
+    identifiers shifted into block-row space (``local + offsets[r]``);
+    unusable peers stay ``-1``.  Because the replicas' node ranges are
+    disjoint, one :func:`ordered_conflict_rounds` pass over the stacked
+    arrays schedules every replica exactly as a per-replica pass would —
+    replica ``r``'s exchanges land in the same relative rounds — so the
+    merged rounds produce bit-identical states.
+    """
+
+    initiators: np.ndarray
+    peers: np.ndarray
+    outcomes: np.ndarray
+    bounds: np.ndarray
+
+
+def stack_cycle_plans(
+    plans: Sequence[CyclePlan], offsets: Sequence[int]
+) -> StackedCyclePlan:
+    """Fuse per-replica :class:`CyclePlan` objects into one block schedule.
+
+    Parameters
+    ----------
+    plans:
+        One plan per replica, each drawn from that replica's own streams
+        via :func:`draw_cycle_plan` (which is what keeps every replica's
+        randomness bit-identical to a serial run of the same seed).
+    offsets:
+        Block-row offset of each replica (``r * stride``).
+    """
+    counts = [plan.initiators.size for plan in plans]
+    bounds = np.zeros(len(plans) + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    total = int(bounds[-1])
+    initiators = np.empty(total, dtype=np.int64)
+    peers = np.empty(total, dtype=np.int64)
+    outcomes = np.empty(total, dtype=np.uint8)
+    for replica, plan in enumerate(plans):
+        low, high = int(bounds[replica]), int(bounds[replica + 1])
+        offset = int(offsets[replica])
+        initiators[low:high] = plan.initiators
+        initiators[low:high] += offset
+        np.copyto(peers[low:high], plan.peers)
+        # Shift only the usable peers into block space; -1 stays -1.
+        shifted = peers[low:high]
+        shifted[shifted >= 0] += offset
+        outcomes[low:high] = plan.outcomes
+    return StackedCyclePlan(
+        initiators=initiators, peers=peers, outcomes=outcomes, bounds=bounds
+    )
 
 
 def ordered_conflict_rounds(

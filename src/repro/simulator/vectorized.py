@@ -43,7 +43,7 @@ from ..core.functions import AggregationFunction
 from ..topology.base import OverlayProvider
 from .cycle_sim import CycleSimulator, InitialValues, RecordingScheduleMixin
 from .failures import FailureModel, NoFailures
-from .metrics import CycleRecord, SimulationTrace
+from .metrics import CycleRecord, SimulationTrace, estimate_statistics
 from .sampling import draw_cycle_plan, ordered_conflict_rounds
 from .transport import (
     OUTCOME_COMPLETED,
@@ -52,7 +52,103 @@ from .transport import (
     TransportModel,
 )
 
-__all__ = ["VectorizedCycleSimulator"]
+__all__ = [
+    "VectorizedCycleSimulator",
+    "effective_exchange_filter",
+    "apply_merge_rounds",
+]
+
+
+def effective_exchange_filter(
+    initiators: np.ndarray,
+    peers: np.ndarray,
+    outcomes: np.ndarray,
+    participant_mask: np.ndarray,
+    all_present: bool,
+    perfect: bool,
+):
+    """Select the state-touching exchanges of one (possibly stacked) cycle.
+
+    An exchange touches state unless the peer is unusable (no neighbour,
+    crashed, or refusing this epoch) or the transport dropped it
+    outright.  Indexing the mask with ``-1`` wraps to the last entry; the
+    ``peers >= 0`` term discards those lookups.
+
+    Returns ``(eff_initiators, eff_peers, eff_completed, effective_index)``:
+    the filtered exchange endpoints, the per-effective-slot completed
+    flags (``None`` on perfect transports, where every effective exchange
+    completes), and the indices of the effective slots in the input
+    arrays (``None`` when nothing was filtered out).  Shared by the
+    serial fast path and the replicated engine — one filter definition,
+    any block size.
+    """
+    if all_present and (peers.size == 0 or int(peers.min()) >= 0):
+        # Every node participates and every initiator found a peer, so
+        # the validity filter would keep everything — skip it.
+        valid = None
+    else:
+        valid = participant_mask[peers] & (peers >= 0)
+    if valid is None and perfect:
+        return initiators, peers, None, None
+    effective = (
+        valid
+        if perfect
+        else (
+            (outcomes != OUTCOME_DROPPED)
+            if valid is None
+            else valid & (outcomes != OUTCOME_DROPPED)
+        )
+    )
+    effective_index = np.flatnonzero(effective)
+    eff_initiators = initiators[effective_index]
+    eff_peers = peers[effective_index]
+    # effective_index is always materialised on the lossy path, so the
+    # completed flags stay aligned with the effective exchange list.
+    eff_completed = (
+        None if perfect else outcomes[effective_index] == OUTCOME_COMPLETED
+    )
+    return eff_initiators, eff_peers, eff_completed, effective_index
+
+
+def apply_merge_rounds(
+    state_block: np.ndarray,
+    function: AggregationFunction,
+    eff_initiators: np.ndarray,
+    eff_peers: np.ndarray,
+    eff_completed: Optional[np.ndarray],
+    scratch: np.ndarray,
+) -> None:
+    """Apply one cycle's effective exchanges to a ``(rows, width)`` block.
+
+    The sequential dependency chain (a node's state may be read by a
+    later exchange of the same cycle) is resolved through
+    :func:`~repro.simulator.sampling.ordered_conflict_rounds`; each round
+    is one gather/merge/scatter pass.  The block may hold a single run or
+    ``R`` stacked replicas — node-disjoint rows merge independently, so
+    the kernel is oblivious to the replica dimension.
+    """
+    # Codecs that accept flat state vectors (the width-1 scalar
+    # functions) run on the flat column: 1-D gathers and scatters are
+    # markedly faster than row-wise fancy indexing.  Width-1 functions
+    # without the flag (e.g. a single-component VectorFunction, whose
+    # merge slices columns) stay on the 2-D path.
+    states = state_block[:, 0] if function.flat_state_codec else state_block
+    merge = function.merge_arrays
+    rounds = ordered_conflict_rounds(
+        eff_initiators, eff_peers, scratch, track_positions=eff_completed is not None
+    )
+    for batch_initiators, batch_peers, batch_positions in rounds:
+        new_initiator, new_responder = merge(
+            states[batch_initiators], states[batch_peers]
+        )
+        if eff_completed is None:
+            states[batch_initiators] = new_initiator
+        else:
+            # Response-lost exchanges update only the responder; the
+            # initiator never saw the reply and keeps its old state.
+            completed_mask = eff_completed[batch_positions]
+            states[batch_initiators[completed_mask]] = new_initiator[completed_mask]
+        states[batch_peers] = new_responder
 
 
 class VectorizedCycleSimulator(RecordingScheduleMixin):
@@ -282,66 +378,22 @@ class VectorizedCycleSimulator(RecordingScheduleMixin):
             self._transport,
             self._transport_rng,
         )
-        initiators = plan.initiators
-        peers = plan.peers
-        outcomes = plan.outcomes
-
-        # An exchange touches state unless the peer is unusable (no
-        # neighbour, crashed, or refusing this epoch) or the transport
-        # dropped it outright.  Indexing the mask with -1 wraps to the last
-        # entry; the `peers >= 0` term discards those lookups.
-        perfect = self._transport.is_perfect()
-        if participants.size == self._capacity and (
-            peers.size == 0 or int(peers.min()) >= 0
-        ):
-            # Every node participates and every initiator found a peer, so
-            # the validity filter would keep everything — skip it.
-            valid = None
-        else:
-            valid = self._participant_mask[peers] & (peers >= 0)
-        if valid is None and perfect:
-            effective_index = None
-            eff_initiators = initiators
-            eff_peers = peers
-        else:
-            effective = valid if perfect else (
-                (outcomes != OUTCOME_DROPPED)
-                if valid is None
-                else valid & (outcomes != OUTCOME_DROPPED)
-            )
-            effective_index = np.flatnonzero(effective)
-            eff_initiators = initiators[effective_index]
-            eff_peers = peers[effective_index]
-        # effective_index is always materialised on the lossy path, so the
-        # completed flags stay aligned with the effective exchange list.
-        eff_completed = (
-            None if perfect else outcomes[effective_index] == OUTCOME_COMPLETED
+        eff_initiators, eff_peers, eff_completed, _ = effective_exchange_filter(
+            plan.initiators,
+            plan.peers,
+            plan.outcomes,
+            self._participant_mask,
+            all_present=participants.size == self._capacity,
+            perfect=self._transport.is_perfect(),
         )
-
-        # Codecs that accept flat state vectors (the width-1 scalar
-        # functions) run on the flat column: 1-D gathers and scatters are
-        # markedly faster than row-wise fancy indexing.  Width-1 functions
-        # without the flag (e.g. a single-component VectorFunction, whose
-        # merge slices columns) stay on the 2-D path.
-        states = (
-            self._states[:, 0] if self._function.flat_state_codec else self._states
+        apply_merge_rounds(
+            self._states,
+            self._function,
+            eff_initiators,
+            eff_peers,
+            eff_completed,
+            self._scratch,
         )
-        merge = self._function.merge_arrays
-        rounds = ordered_conflict_rounds(
-            eff_initiators, eff_peers, self._scratch, track_positions=not perfect
-        )
-        for batch_initiators, batch_peers, batch_positions in rounds:
-            new_initiator, new_responder = merge(
-                states[batch_initiators], states[batch_peers]
-            )
-            if eff_completed is None:
-                states[batch_initiators] = new_initiator
-            else:
-                # Response-lost exchanges update only the responder; the
-                # initiator never saw the reply and keeps its old state.
-                completed_mask = eff_completed[batch_positions]
-                states[batch_initiators[completed_mask]] = new_initiator[completed_mask]
-            states[batch_peers] = new_responder
 
         completed = (
             int(eff_initiators.size)
@@ -350,7 +402,7 @@ class VectorizedCycleSimulator(RecordingScheduleMixin):
         )
         # Every non-completed slot failed: unusable peer, dropped exchange,
         # or lost response.
-        failed = int(initiators.size) - completed
+        failed = int(plan.initiators.size) - completed
 
         self._last_eff_initiators = eff_initiators
         self._last_eff_peers = eff_peers
@@ -397,31 +449,9 @@ class VectorizedCycleSimulator(RecordingScheduleMixin):
                 else self._states[participants]
             )
             estimates = self._function.estimate_array(block)
-            minimum = float(np.min(estimates)) if estimates.size else math.nan
-            maximum = float(np.max(estimates)) if estimates.size else math.nan
-            if math.isfinite(minimum) and math.isfinite(maximum):
-                # NaN poisons min and inf shows up in max/min, so finite
-                # extremes certify the whole array — skip the filter pass.
-                finite = estimates
-            else:
-                finite = estimates[np.isfinite(estimates)]
         else:
-            finite = np.empty(0, dtype=np.float64)
-        if finite.size:
-            if finite is not estimates:
-                minimum = float(np.min(finite)) if finite.size else math.nan
-                maximum = float(np.max(finite)) if finite.size else math.nan
-            mean = float(np.mean(finite))
-            if finite.size >= 2:
-                deviations = finite - mean
-                variance = float(deviations.dot(deviations) / (finite.size - 1))
-            else:
-                variance = 0.0
-        else:
-            mean = math.nan
-            variance = 0.0
-            minimum = math.nan
-            maximum = math.nan
+            estimates = np.empty(0, dtype=np.float64)
+        mean, variance, minimum, maximum = estimate_statistics(estimates)
         return self._emit_record(
             participant_count=int(participants.size),
             mean=mean,

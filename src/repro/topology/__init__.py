@@ -17,6 +17,11 @@ from .graph_stats import (
     estimate_average_path_length,
 )
 from .random_regular import random_k_out_topology, random_regular_topology
+from .replicated import (
+    ReplicatedStaticBlock,
+    StaticBlockView,
+    draw_k_out_peers,
+)
 from .ring_lattice import ring_lattice_topology
 from .scale_free import barabasi_albert_topology
 from .watts_strogatz import watts_strogatz_topology
@@ -28,6 +33,9 @@ __all__ = [
     "complete_topology",
     "random_k_out_topology",
     "random_regular_topology",
+    "ReplicatedStaticBlock",
+    "StaticBlockView",
+    "draw_k_out_peers",
     "ring_lattice_topology",
     "watts_strogatz_topology",
     "barabasi_albert_topology",

@@ -150,9 +150,15 @@ class StaticTopology(OverlayProvider):
         # uniform block plus a multiply is several times faster than the
         # rejection-based integer path, and the bias is O(degree / 2^53).
         draws = (generator.random(node_ids.size) * row_degrees).astype(np.int64)
-        peers = flat[offsets_by_id[node_ids] + draws] if flat.size else np.full(
-            node_ids.size, -1, dtype=np.int64
-        )
+        if not flat.size:
+            return np.full(node_ids.size, -1, dtype=np.int64)
+        indices = offsets_by_id[node_ids] + draws
+        if any_isolated:
+            # An isolated node contributes offset + 0, which for the last
+            # CSR row points one past the end of ``flat`` — pin those
+            # lookups to 0 before gathering; the mask below discards them.
+            indices[row_degrees == 0] = 0
+        peers = flat[indices]
         if any_isolated:
             peers[row_degrees == 0] = -1
         return peers
@@ -167,11 +173,18 @@ class StaticTopology(OverlayProvider):
                 count=count,
             )
             total = int(degrees.sum())
+            # Rows are laid out in ascending neighbour-id order.  The order
+            # is part of the peer-selection contract: a batched draw maps a
+            # uniform variate to ``flat[offset + floor(u * degree)]``, so
+            # any array-native re-implementation of this overlay (the
+            # replicated block topology) must index the *same* neighbour
+            # for the same variate — a canonical sorted layout makes that
+            # reproducible, where raw set-iteration order would not be.
             flat = np.fromiter(
                 (
                     neighbour
                     for neighbours in self._adjacency.values()
-                    for neighbour in neighbours
+                    for neighbour in sorted(neighbours)
                 ),
                 dtype=np.int64,
                 count=total,

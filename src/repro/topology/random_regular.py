@@ -28,6 +28,12 @@ __all__ = ["random_k_out_topology", "random_regular_topology"]
 def random_k_out_topology(size: int, degree: int, rng: RandomSource) -> StaticTopology:
     """Build the paper's random overlay: each node samples ``degree`` peers.
 
+    The draws come from the batched
+    :func:`~repro.topology.replicated.draw_k_out_peers` sampler — the
+    same one the replicated block topology consumes — so a serial sweep
+    and a replica-batched sweep build the *same* graphs from the same
+    seeds.
+
     Parameters
     ----------
     size:
@@ -38,20 +44,13 @@ def random_k_out_topology(size: int, degree: int, rng: RandomSource) -> StaticTo
     rng:
         Randomness source.
     """
-    require_positive(size, "size")
-    require_positive(degree, "degree")
-    require(degree < size, f"degree ({degree}) must be smaller than size ({size})")
+    # Imported here to avoid a module cycle (replicated builds on base).
+    from .replicated import draw_k_out_peers
 
-    adjacency: Dict[int, Set[int]] = {node: set() for node in range(size)}
-    for node in range(size):
-        # Sample `degree` distinct peers, excluding the node itself, by
-        # drawing from the population of size-1 other identifiers.
-        sampled = rng.sample_indices(size - 1, degree)
-        for raw in sampled:
-            peer = int(raw)
-            if peer >= node:
-                peer += 1
-            adjacency[node].add(peer)
+    peers = draw_k_out_peers(size, degree, rng)
+    adjacency: Dict[int, Set[int]] = {
+        node: set(row) for node, row in enumerate(peers.tolist())
+    }
     return StaticTopology(adjacency, name=f"random(k={degree})")
 
 

@@ -1,0 +1,556 @@
+"""Block replication of static overlays for the replicated cycle engine.
+
+A replicated simulation holds ``R`` independent repetitions of the same
+scenario in one stacked state tensor.  Each repetition needs its own
+overlay (drawn from its own random stream), but building ``R`` separate
+:class:`~repro.topology.base.StaticTopology` instances — one Python
+dict-of-sets each — costs far more than the simulation cycles themselves
+at experiment scale.  This module keeps all ``R`` adjacency structures in
+one padded block matrix instead:
+
+* rows of replica ``r`` live at block offset ``r * stride``,
+* every row stores its neighbours ascending, padded with a sentinel, and
+* peer selection, crash removal and churn joins are batched array passes.
+
+The row order is the load-bearing part: `StaticTopology` lays its CSR
+rows out in ascending neighbour order (see ``_csr_arrays``), and both
+implementations map a uniform variate ``u`` to the neighbour at index
+``floor(u * degree)``.  Identical row order + identical generator calls
+therefore give **bit-identical peer choices**, which is what lets the
+replicated engine reproduce serial fast-path traces exactly.
+
+:func:`draw_k_out_peers` is the shared sampler behind the paper's
+"random" overlay: one batched redraw-until-distinct pass that both the
+serial :func:`~repro.topology.random_regular.random_k_out_topology`
+builder and :meth:`ReplicatedStaticBlock.build_k_out` consume, so the
+serial and replicated paths see the very same graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..common.errors import TopologyError
+from ..common.rng import RandomSource
+from ..common.validation import require, require_positive
+from .base import OverlayProvider, StaticTopology
+
+__all__ = [
+    "draw_k_out_peers",
+    "sample_distinct_peers",
+    "ReplicatedStaticBlock",
+    "StaticBlockView",
+]
+
+#: Padding value for empty adjacency slots.  Larger than any node id, so
+#: rows stay ascending-sorted with the padding at the end and one
+#: ``np.sort`` per row re-establishes the invariant after edits.  The
+#: block stores neighbours as int32 (ids are bounded far below 2^31 at
+#: any reachable scale), halving the memory traffic of the row sorts and
+#: gathers; peer draws are widened back to int64 at the API boundary.
+_SENTINEL = np.iinfo(np.int32).max
+
+
+def draw_k_out_peers(size: int, degree: int, rng: RandomSource) -> np.ndarray:
+    """Draw ``degree`` distinct random peers (excluding self) per node.
+
+    The batched equivalent of ``degree``-out sampling: one uniform block
+    plus redraw-until-distinct passes, the same technique the array-native
+    NEWSCAST bootstrap uses.  Returns a ``(size, degree)`` int64 array of
+    peer identifiers.
+
+    Parameters
+    ----------
+    size:
+        Number of nodes (identifiers ``0 .. size-1``).
+    degree:
+        Out-links sampled per node; must be smaller than ``size``.
+    rng:
+        Randomness source (consumed through its generator in batch form).
+    """
+    require_positive(size, "size")
+    require_positive(degree, "degree")
+    require(degree < size, f"degree ({degree}) must be smaller than size ({size})")
+    return sample_distinct_peers(size, degree, rng.generator)
+
+
+def sample_distinct_peers(
+    size: int, fill: int, generator: np.random.Generator
+) -> np.ndarray:
+    """``fill`` distinct uniform peers (self excluded) per node, batched.
+
+    The shared redraw-until-distinct core behind both the k-out overlay
+    sampler and the array-native NEWSCAST bootstrap: one uniform block
+    over the ``size - 1`` other identifiers, duplicate slots redrawn
+    until every row is distinct, then the skip-self shift.  Rows come
+    back sorted ascending (per row) in ``(size, fill)`` int64 form.
+    """
+    draws = generator.integers(0, size - 1, size=(size, fill), dtype=np.int64)
+    draws.sort(axis=1)
+    for _ in range(64):
+        duplicate = np.zeros((size, fill), dtype=bool)
+        duplicate[:, 1:] = draws[:, 1:] == draws[:, :-1]
+        count = int(np.count_nonzero(duplicate))
+        if count == 0:
+            break
+        draws[duplicate] = generator.integers(0, size - 1, size=count, dtype=np.int64)
+        draws.sort(axis=1)
+    else:  # pragma: no cover - astronomically unlikely for fill << size
+        raise TopologyError("peer sampling failed to produce distinct draws")
+    rows = np.arange(size, dtype=np.int64)[:, None]
+    draws[draws >= rows] += 1
+    return draws
+
+
+def _assemble_rows(size: int, peers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetrised, deduped, row-sorted padded adjacency from k-out draws.
+
+    Returns ``(adjacency, degrees)`` where ``adjacency`` is a padded
+    ``(size, width)`` matrix (ascending neighbours, sentinel padding) —
+    entry-for-entry the same rows that ``StaticTopology`` exposes through
+    its sorted CSR, but assembled with array passes instead of Python
+    sets.
+    """
+    degree = peers.shape[1]
+    flat_peers = peers.ravel()
+    in_degrees = np.bincount(flat_peers, minlength=size)
+    width = degree + int(in_degrees.max()) if size else degree
+    adjacency = np.full((size, width), _SENTINEL, dtype=np.int32)
+    # Out-links: node i's own draws fill its first `degree` columns.
+    adjacency[:, :degree] = peers
+    # In-links: group the reverse direction by target.  The within-group
+    # order is irrelevant (rows are value-sorted below), so the cheaper
+    # unstable argsort does.
+    order = np.argsort(flat_peers)
+    targets = flat_peers[order]
+    sources = np.repeat(np.arange(size, dtype=np.int64), degree)[order]
+    starts = np.zeros(size, dtype=np.int64)
+    np.cumsum(in_degrees[:-1], out=starts[1:])
+    columns = degree + (np.arange(targets.size, dtype=np.int64) - starts[targets])
+    adjacency[targets, columns] = sources
+    adjacency.sort(axis=1)
+    # Dedup: an undirected edge appears twice iff both endpoints drew each
+    # other; collapse adjacent duplicates and re-sort the padding away.
+    duplicate = np.zeros_like(adjacency, dtype=bool)
+    duplicate[:, 1:] = (adjacency[:, 1:] == adjacency[:, :-1]) & (
+        adjacency[:, 1:] != _SENTINEL
+    )
+    degrees = degree + in_degrees - np.count_nonzero(duplicate, axis=1)
+    if duplicate.any():
+        adjacency[duplicate] = _SENTINEL
+        adjacency.sort(axis=1)
+    return adjacency, degrees.astype(np.int64)
+
+
+class ReplicatedStaticBlock:
+    """``R`` static overlays stored as one padded block adjacency matrix.
+
+    Replica ``r``'s node ``u`` occupies block row ``r * stride + u``.
+    Each row keeps its neighbours ascending with sentinel padding, which
+    matches ``StaticTopology``'s sorted CSR layout, so peer draws from
+    the same generator stream pick the same neighbours.
+
+    Use :meth:`build_k_out` to construct the block for the paper's
+    random overlay, or :meth:`from_topologies` to adopt already-built
+    ``StaticTopology`` instances (any static family).  :meth:`view`
+    returns a per-replica :class:`StaticBlockView` implementing the
+    ``OverlayProvider`` surface the simulation engines drive.
+    """
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        degrees: np.ndarray,
+        replicas: int,
+        stride: int,
+        sizes: Sequence[int],
+        name: str = "static-block",
+    ) -> None:
+        self._adj = adjacency
+        self._degrees = degrees
+        self._replicas = int(replicas)
+        self._stride = int(stride)
+        self.name = name
+        # Per-replica membership bookkeeping mirroring StaticTopology:
+        # alive flags, the dict-insertion key order (drives churn
+        # attachment sampling), edge sums for average_degree().
+        self._alive = np.zeros(replicas * stride, dtype=bool)
+        self._insertion_order: List[List[int]] = []
+        self._existing_cache: List[Optional[List[int]]] = []
+        self._next_local: List[int] = []
+        self._edge_sum: List[int] = []
+        self._node_count: List[int] = []
+        for replica in range(replicas):
+            size = int(sizes[replica])
+            base = replica * stride
+            self._alive[base : base + size] = True
+            self._insertion_order.append(list(range(size)))
+            self._existing_cache.append(list(range(size)))
+            self._next_local.append(size)
+            block = degrees[base : base + size]
+            self._edge_sum.append(int(block.sum()))
+            self._node_count.append(size)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build_k_out(
+        cls,
+        size: int,
+        degree: int,
+        rngs: Sequence[RandomSource],
+        name: Optional[str] = None,
+    ) -> "ReplicatedStaticBlock":
+        """Build ``len(rngs)`` independent k-out overlays in one block.
+
+        Replica ``r`` draws its graph from ``rngs[r]`` exactly as the
+        serial :func:`~repro.topology.random_regular.random_k_out_topology`
+        does, so the block holds the very same graphs a serial sweep
+        would build — just without ``R`` Python dict-of-sets assemblies.
+        """
+        replicas = len(rngs)
+        require_positive(replicas, "replicas")
+        pieces = []
+        width = 0
+        for rng in rngs:
+            peers = draw_k_out_peers(size, degree, rng)
+            adjacency, degrees = _assemble_rows(size, peers)
+            width = max(width, adjacency.shape[1])
+            pieces.append((adjacency, degrees))
+        stride = size
+        block = np.full((replicas * stride, width), _SENTINEL, dtype=np.int32)
+        block_degrees = np.zeros(replicas * stride, dtype=np.int64)
+        for replica, (adjacency, degrees) in enumerate(pieces):
+            base = replica * stride
+            block[base : base + size, : adjacency.shape[1]] = adjacency
+            block_degrees[base : base + size] = degrees
+        return cls(
+            block,
+            block_degrees,
+            replicas,
+            stride,
+            [size] * replicas,
+            name=name or f"random(k={degree})",
+        )
+
+    @classmethod
+    def from_topologies(
+        cls, topologies: Sequence[StaticTopology]
+    ) -> "ReplicatedStaticBlock":
+        """Adopt already-built static overlays into one block.
+
+        Preserves each topology's node identifiers, neighbour sets and
+        dict-insertion key order, so a replica view behaves exactly like
+        the original instance (including churn attachment draws).
+        """
+        require_positive(len(topologies), "topologies")
+        return cls.from_builder(len(topologies), lambda replica: topologies[replica])
+
+    @classmethod
+    def from_builder(
+        cls, count: int, build: "Callable[[int], StaticTopology]"
+    ) -> "ReplicatedStaticBlock":
+        """Build ``count`` overlays one at a time, adopting each in turn.
+
+        ``build(r)`` constructs replica ``r``'s ``StaticTopology``; its
+        rows are packed into the int32 block and the dict-of-sets
+        representation is released before the next replica is built, so
+        peak memory holds **one** dict graph plus the compact block —
+        not ``count`` dict graphs at once, as a naive list of serial
+        overlays would.
+        """
+        require_positive(count, "count")
+        instance = cls(
+            np.full((count, 1), _SENTINEL, dtype=np.int32),
+            np.zeros(count, dtype=np.int64),
+            count,
+            1,
+            [0] * count,
+        )
+        for replica in range(count):
+            topology = build(replica)
+            instance._adopt(replica, topology)
+            if replica == 0:
+                instance.name = topology.name
+            del topology
+        return instance
+
+    def _adopt(self, replica: int, topology: StaticTopology) -> None:
+        """Copy one built topology's rows and bookkeeping into the block."""
+        adjacency = topology.adjacency_copy()
+        if adjacency:
+            top = max(adjacency)
+            if top + 1 >= _SENTINEL:
+                raise TopologyError("node identifiers exceed the int32 block range")
+            self._ensure_local_capacity(top)
+            self._ensure_width(max(len(n) for n in adjacency.values()))
+        base = replica * self._stride
+        for node, neighbours in adjacency.items():
+            row = base + node
+            ordered = sorted(neighbours)
+            self._adj[row, : len(ordered)] = ordered
+            self._degrees[row] = len(ordered)
+            self._alive[row] = True
+        order = list(adjacency.keys())
+        self._insertion_order[replica] = list(order)
+        self._existing_cache[replica] = list(order)
+        self._next_local[replica] = (max(adjacency) + 1) if adjacency else 0
+        self._edge_sum[replica] = int(
+            sum(len(neighbours) for neighbours in adjacency.values())
+        )
+        self._node_count[replica] = len(adjacency)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self) -> int:
+        """Number of replicated overlays held by this block."""
+        return self._replicas
+
+    @property
+    def stride(self) -> int:
+        """Row capacity reserved per replica."""
+        return self._stride
+
+    def view(self, replica: int) -> "StaticBlockView":
+        """The ``OverlayProvider`` facade of one replica."""
+        if not 0 <= replica < self._replicas:
+            raise TopologyError(f"replica {replica} out of range")
+        return StaticBlockView(self, replica)
+
+    # ------------------------------------------------------------------
+    # Per-replica operations (called through the views)
+    # ------------------------------------------------------------------
+    def _node_ids(self, replica: int) -> List[int]:
+        base = replica * self._stride
+        return np.flatnonzero(self._alive[base : base + self._stride]).tolist()
+
+    def _contains(self, replica: int, node_id: int) -> bool:
+        if not 0 <= node_id < self._stride:
+            return False
+        return bool(self._alive[replica * self._stride + node_id])
+
+    def _size(self, replica: int) -> int:
+        return self._node_count[replica]
+
+    def _neighbors(self, replica: int, node_id: int) -> tuple:
+        if not self._contains(replica, node_id):
+            raise TopologyError(f"unknown node {node_id}")
+        row = replica * self._stride + node_id
+        count = int(self._degrees[row])
+        return tuple(int(peer) for peer in self._adj[row, :count])
+
+    def _average_degree(self, replica: int) -> float:
+        if self._node_count[replica] == 0:
+            return 0.0
+        return self._edge_sum[replica] / self._node_count[replica]
+
+    def _select_peers_batch(
+        self, replica: int, node_ids: np.ndarray, generator: np.random.Generator
+    ) -> np.ndarray:
+        """Bit-identical twin of ``StaticTopology.select_peers_batch``."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if node_ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        rows = replica * self._stride + node_ids
+        row_degrees = self._degrees[rows]
+        draws = (generator.random(node_ids.size) * row_degrees).astype(np.int64)
+        # One flat gather instead of 2-D fancy indexing (severalfold
+        # cheaper), widened back to the int64 the engines work in.
+        draws += rows * self._adj.shape[1]
+        peers = self._adj.ravel()[draws].astype(np.int64)
+        peers[row_degrees == 0] = -1
+        return peers
+
+    def _select_peer(
+        self, replica: int, node_id: int, rng: RandomSource
+    ) -> Optional[int]:
+        if not self._contains(replica, node_id):
+            return None
+        row = replica * self._stride + node_id
+        count = int(self._degrees[row])
+        if count == 0:
+            return None
+        return int(self._adj[row, rng.choice_index(count)])
+
+    def _remove_node(self, replica: int, node_id: int) -> None:
+        if not self._contains(replica, node_id):
+            return
+        base = replica * self._stride
+        row = base + node_id
+        count = int(self._degrees[row])
+        neighbours = self._adj[row, :count].copy()
+        self._adj[row] = _SENTINEL
+        self._degrees[row] = 0
+        self._alive[row] = False
+        self._node_count[replica] -= 1
+        self._edge_sum[replica] -= 2 * count
+        self._existing_cache[replica] = None
+        if count:
+            # Delete node_id from every neighbour's sorted row: mark the
+            # entry and let one batched sort push the hole into padding.
+            neighbour_rows = base + neighbours
+            sub = self._adj[neighbour_rows]
+            sub[sub == node_id] = _SENTINEL
+            sub.sort(axis=1)
+            self._adj[neighbour_rows] = sub
+            self._degrees[neighbour_rows] -= 1
+
+    def _add_node(self, replica: int, node_id: int, rng: RandomSource) -> None:
+        if self._contains(replica, node_id):
+            raise TopologyError(f"node {node_id} already exists")
+        self._ensure_local_capacity(node_id)
+        base = replica * self._stride
+        row = base + node_id
+        existing = self._existing(replica)
+        self._alive[row] = True
+        self._adj[row] = _SENTINEL
+        self._degrees[row] = 0
+        self._insertion_order[replica].append(int(node_id))
+        existing_after = existing + [int(node_id)]
+        self._existing_cache[replica] = existing_after
+        self._node_count[replica] += 1
+        self._next_local[replica] = max(self._next_local[replica], node_id + 1)
+        if not existing:
+            return
+        # Average degree over the graph *including* the fresh empty row —
+        # exactly what StaticTopology.on_node_added computes.
+        average = self._edge_sum[replica] / self._node_count[replica]
+        count = min(max(1, round(average)), len(existing))
+        peers = sorted(int(peer) for peer in rng.sample(existing, count))
+        self._ensure_width(len(peers))
+        self._adj[row, : len(peers)] = peers
+        self._degrees[row] = len(peers)
+        for peer in peers:
+            peer_row = base + peer
+            degree = int(self._degrees[peer_row])
+            if degree + 1 > self._adj.shape[1]:
+                self._ensure_width(degree + 1)
+            position = int(np.searchsorted(self._adj[peer_row, :degree], node_id))
+            self._adj[peer_row, position + 1 : degree + 1] = self._adj[
+                peer_row, position:degree
+            ]
+            self._adj[peer_row, position] = node_id
+            self._degrees[peer_row] = degree + 1
+        self._edge_sum[replica] += 2 * len(peers)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _existing(self, replica: int) -> List[int]:
+        """Alive node ids in dict-insertion order (StaticTopology's
+        ``list(adjacency.keys())``), rebuilt lazily after removals."""
+        cached = self._existing_cache[replica]
+        if cached is None:
+            base = replica * self._stride
+            alive = self._alive
+            order = [
+                node for node in self._insertion_order[replica] if alive[base + node]
+            ]
+            self._insertion_order[replica] = order
+            cached = list(order)
+            self._existing_cache[replica] = cached
+        return cached
+
+    def _ensure_local_capacity(self, node_id: int) -> None:
+        if node_id < self._stride:
+            return
+        new_stride = max(self._stride * 2, node_id + 1)
+        adj = np.full(
+            (self._replicas * new_stride, self._adj.shape[1]), _SENTINEL, dtype=np.int32
+        )
+        degrees = np.zeros(self._replicas * new_stride, dtype=np.int64)
+        alive = np.zeros(self._replicas * new_stride, dtype=bool)
+        for replica in range(self._replicas):
+            old_base = replica * self._stride
+            new_base = replica * new_stride
+            adj[new_base : new_base + self._stride] = self._adj[
+                old_base : old_base + self._stride
+            ]
+            degrees[new_base : new_base + self._stride] = self._degrees[
+                old_base : old_base + self._stride
+            ]
+            alive[new_base : new_base + self._stride] = self._alive[
+                old_base : old_base + self._stride
+            ]
+        self._adj = adj
+        self._degrees = degrees
+        self._alive = alive
+        self._stride = new_stride
+
+    def _ensure_width(self, width: int) -> None:
+        if width <= self._adj.shape[1]:
+            return
+        new_width = max(2 * self._adj.shape[1], width)
+        grown = np.full((self._adj.shape[0], new_width), _SENTINEL, dtype=np.int32)
+        grown[:, : self._adj.shape[1]] = self._adj
+        self._adj = grown
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplicatedStaticBlock(replicas={self._replicas}, "
+            f"stride={self._stride}, name={self.name!r})"
+        )
+
+
+class StaticBlockView(OverlayProvider):
+    """One replica of a :class:`ReplicatedStaticBlock` as an overlay.
+
+    Implements the full ``OverlayProvider`` surface (plus
+    ``select_peers_batch``), so the simulation engines — and their
+    failure models — drive a block replica exactly like a standalone
+    ``StaticTopology``.
+    """
+
+    def __init__(self, block: ReplicatedStaticBlock, replica: int) -> None:
+        self._block = block
+        self._replica = replica
+        self.name = block.name
+
+    @property
+    def replica(self) -> int:
+        """Index of this view's replica within the block."""
+        return self._replica
+
+    def node_ids(self) -> List[int]:
+        return self._block._node_ids(self._replica)
+
+    def neighbors(self, node_id: int) -> Sequence[int]:
+        return self._block._neighbors(self._replica, node_id)
+
+    def select_peer(self, node_id: int, rng: RandomSource) -> Optional[int]:
+        return self._block._select_peer(self._replica, node_id, rng)
+
+    def select_peers_batch(
+        self, node_ids: np.ndarray, generator: np.random.Generator
+    ) -> np.ndarray:
+        return self._block._select_peers_batch(self._replica, node_ids, generator)
+
+    def on_node_removed(self, node_id: int) -> None:
+        self._block._remove_node(self._replica, node_id)
+
+    def on_node_added(self, node_id: int, rng: RandomSource) -> None:
+        self._block._add_node(self._replica, node_id, rng)
+
+    def size(self) -> int:
+        return self._block._size(self._replica)
+
+    def contains(self, node_id: int) -> bool:
+        return self._block._contains(self._replica, node_id)
+
+    def average_degree(self) -> float:
+        """Mean degree over this replica's nodes (StaticTopology parity)."""
+        return self._block._average_degree(self._replica)
+
+    def adjacency_copy(self) -> Dict[int, Set[int]]:
+        """Adjacency of this replica as a dict of sets (for tests)."""
+        return {
+            node: set(self.neighbors(node)) for node in self.node_ids()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticBlockView(replica={self._replica}, block={self._block!r})"

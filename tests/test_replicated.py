@@ -1,0 +1,551 @@
+"""Replicated tensor engine: bit-identity, plan plumbing, block overlays.
+
+The load-bearing property of the replica-batched engine is that fusing
+``R`` repetitions into one stacked simulation changes *nothing* about any
+individual repetition: every trace record and every final node state must
+be bit-identical to what the serial fast path produces from the same root
+seed.  These tests assert that across the
+{complete, static random, NEWSCAST-array} × {none, crash, message-loss,
+churn} grid, plus a hypothesis property that the plan-based
+``repeat_traces`` fast path reproduces the serial output list-for-list.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RandomSource
+from repro.core.functions import AverageFunction, MinFunction, PushSumFunction
+from repro.experiments.runner import (
+    RunPlan,
+    repeat_simulations,
+    repeat_traces,
+    uniform_initial_values,
+)
+from repro.newscast.vectorized_cache import ReplicatedNewscastBlock, VectorizedNewscastOverlay
+from repro.simulator.failures import ChurnModel, ProportionalCrashModel
+from repro.simulator.replicated import ReplicaConfig, ReplicatedCycleSimulator
+from repro.simulator.transport import PERFECT_TRANSPORT, TransportModel
+from repro.topology import StaticTopology, TopologySpec
+from repro.topology.random_regular import random_k_out_topology
+from repro.topology.replicated import ReplicatedStaticBlock, draw_k_out_peers
+
+SIZE = 90
+DEGREE = 8
+CYCLES = 10
+REPLICAS = 3
+SEED = 4242
+
+
+TOPOLOGIES = {
+    "complete": TopologySpec("complete"),
+    "static": TopologySpec("random", degree=DEGREE),
+    "newscast-array": TopologySpec(
+        "newscast", degree=DEGREE, params={"vectorized": True}
+    ),
+}
+
+FAILURES = {
+    "none": None,
+    "crash": lambda: ProportionalCrashModel(0.05),
+    "churn": lambda: ChurnModel(3),
+}
+
+TRANSPORTS = {
+    "perfect": PERFECT_TRANSPORT,
+    "message-loss": TransportModel(message_loss_probability=0.2),
+}
+
+
+def records_equal(left, right):
+    """Field-exact equality of two cycle records (no tolerances)."""
+    return (
+        left.cycle == right.cycle
+        and left.participant_count == right.participant_count
+        and left.mean == right.mean
+        and left.variance == right.variance
+        and left.minimum == right.minimum
+        and left.maximum == right.maximum
+        and left.completed_exchanges == right.completed_exchanges
+        and left.failed_exchanges == right.failed_exchanges
+    )
+
+
+def assert_traces_identical(serial_traces, replicated_traces):
+    assert len(serial_traces) == len(replicated_traces)
+    for serial, replicated in zip(serial_traces, replicated_traces):
+        assert len(serial) == len(replicated)
+        for left, right in zip(serial, replicated):
+            assert records_equal(left, right), (left, right)
+
+
+class TestBitIdentityGrid:
+    """Replicated-vs-serial equivalence over the scenario grid."""
+
+    @pytest.mark.parametrize("topology_key", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("failure_key", sorted(FAILURES))
+    @pytest.mark.parametrize("transport_key", sorted(TRANSPORTS))
+    def test_traces_and_states_bit_identical(
+        self, topology_key, failure_key, transport_key
+    ):
+        plan = RunPlan(
+            topology=TOPOLOGIES[topology_key],
+            size=SIZE,
+            cycles=CYCLES,
+            values=uniform_initial_values,
+            transport=TRANSPORTS[transport_key],
+            failure_factory=FAILURES[failure_key],
+        )
+        assert plan.supports_replication()
+        serial_states = {}
+
+        def collect(simulator):
+            serial_states[len(serial_states)] = simulator.states()
+            return simulator.trace
+
+        serial_plan = RunPlan(**{**plan.__dict__, "collect": collect})
+        serial = repeat_traces(REPLICAS, SEED, plan=serial_plan, engine="serial")
+
+        replicated_states = {}
+
+        def collect_replica(view):
+            replicated_states[view.replica_index] = view.states()
+            return view.trace
+
+        replicated_plan = RunPlan(**{**plan.__dict__, "collect": collect_replica})
+        replicated = repeat_traces(REPLICAS, SEED, plan=replicated_plan)
+
+        assert_traces_identical(serial, replicated)
+        for index in range(REPLICAS):
+            assert serial_states[index] == replicated_states[index]
+
+    def test_sudden_death_matches_at_scale_point(self):
+        from repro.simulator.failures import SuddenDeathModel
+
+        plan = RunPlan(
+            topology=TOPOLOGIES["static"],
+            size=SIZE,
+            cycles=CYCLES,
+            values=uniform_initial_values,
+            failure_factory=lambda: SuddenDeathModel(0.5, at_cycle=4),
+        )
+        serial = repeat_traces(REPLICAS, SEED, plan=plan, engine="serial")
+        replicated = repeat_traces(REPLICAS, SEED, plan=plan)
+        assert_traces_identical(serial, replicated)
+
+    @pytest.mark.parametrize("function_factory", [MinFunction, PushSumFunction])
+    def test_other_codec_functions(self, function_factory):
+        plan = RunPlan(
+            topology=TOPOLOGIES["complete"],
+            size=SIZE,
+            cycles=CYCLES,
+            values=uniform_initial_values,
+            function_factory=function_factory,
+        )
+        serial = repeat_traces(REPLICAS, SEED, plan=plan, engine="serial")
+        replicated = repeat_traces(REPLICAS, SEED, plan=plan)
+        assert_traces_identical(serial, replicated)
+
+
+class TestTraceSplittingProperty:
+    """Splitting a replicated run reproduces repeat_traces list-for-list."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        repeats=st.integers(min_value=1, max_value=5),
+        size=st.integers(min_value=8, max_value=60),
+        cycles=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        record_every=st.integers(min_value=1, max_value=3),
+        loss=st.sampled_from([0.0, 0.3]),
+    )
+    def test_replicated_splits_to_serial_list(
+        self, repeats, size, cycles, seed, record_every, loss
+    ):
+        plan = RunPlan(
+            topology=TopologySpec("random", degree=min(4, size - 1)),
+            size=size,
+            cycles=cycles,
+            values=uniform_initial_values,
+            transport=TransportModel(message_loss_probability=loss),
+            record_every=record_every,
+        )
+        serial = repeat_traces(repeats, seed, plan=plan, engine="serial")
+        replicated = repeat_traces(repeats, seed, plan=plan, engine="replicated")
+        assert_traces_identical(serial, replicated)
+
+
+class TestRunPlanPlumbing:
+    def test_dict_newscast_falls_back_to_serial(self):
+        plan = RunPlan(
+            topology=TopologySpec("newscast", degree=DEGREE),
+            size=SIZE,
+            cycles=3,
+            values=uniform_initial_values,
+        )
+        assert not plan.supports_replication()
+        traces = repeat_traces(2, SEED, plan=plan)  # auto -> serial fallback
+        assert len(traces) == 2
+        with pytest.raises(ConfigurationError):
+            repeat_traces(2, SEED, plan=plan, engine="replicated")
+
+    def test_engine_validation(self):
+        plan = RunPlan(
+            topology=TOPOLOGIES["complete"],
+            size=20,
+            cycles=2,
+            values=[1.0] * 20,
+        )
+        with pytest.raises(ConfigurationError):
+            repeat_traces(2, SEED, plan=plan, engine="warp")
+        with pytest.raises(ConfigurationError):
+            repeat_traces(2, SEED)  # neither make_run nor plan
+        with pytest.raises(ConfigurationError):
+            repeat_traces(2, SEED, make_run=lambda i, rng: None, engine="replicated")
+
+    def test_zero_and_single_repeats(self):
+        plan = RunPlan(
+            topology=TOPOLOGIES["complete"],
+            size=20,
+            cycles=2,
+            values=[float(i) for i in range(20)],
+        )
+        assert repeat_traces(0, SEED, plan=plan) == []
+        serial = repeat_traces(1, SEED, plan=plan, engine="serial")
+        replicated = repeat_traces(1, SEED, plan=plan)
+        assert_traces_identical(serial, replicated)
+
+    def test_collect_receives_simulator_like_view(self):
+        plan = RunPlan(
+            topology=TOPOLOGIES["static"],
+            size=SIZE,
+            cycles=3,
+            values=uniform_initial_values,
+            collect=lambda sim: (
+                sorted(sim.estimates())[:3],
+                len(sim.participant_ids()),
+                sim.cycle_index,
+            ),
+        )
+        serial = repeat_simulations(REPLICAS, SEED, plan=plan, engine="serial")
+        replicated = repeat_simulations(REPLICAS, SEED, plan=plan)
+        assert serial == replicated
+
+    def test_sweep_is_exported(self):
+        # Regression: figures rely on runner.sweep but __all__ omitted it,
+        # so star-imports (and API docs) lost the symbol.
+        import repro.experiments.runner as runner
+
+        assert "sweep" in runner.__all__
+        assert runner.sweep([2, 1], lambda value: value + 1) == {2: 3, 1: 2}
+
+
+class TestReplicatedStaticBlock:
+    def test_rows_match_static_topology(self):
+        rng_block = RandomSource(9)
+        rng_serial = RandomSource(9)
+        block = ReplicatedStaticBlock.build_k_out(SIZE, DEGREE, [rng_block])
+        topology = random_k_out_topology(SIZE, DEGREE, rng_serial)
+        view = block.view(0)
+        for node in range(SIZE):
+            assert view.neighbors(node) == tuple(sorted(topology.neighbors(node)))
+        assert view.size() == topology.size()
+        assert view.average_degree() == pytest.approx(topology.average_degree())
+
+    def test_peer_draws_match_after_membership_changes(self):
+        block = ReplicatedStaticBlock.build_k_out(SIZE, DEGREE, [RandomSource(9)])
+        topology = random_k_out_topology(SIZE, DEGREE, RandomSource(9))
+        view = block.view(0)
+        for victim in (3, 40, SIZE - 1):
+            topology.on_node_removed(victim)
+            view.on_node_removed(victim)
+        topology.on_node_added(SIZE, RandomSource(5))
+        view.on_node_added(SIZE, RandomSource(5))
+        assert view.neighbors(SIZE) == tuple(sorted(topology.neighbors(SIZE)))
+        alive = np.asarray(topology.node_ids(), dtype=np.int64)
+        g1 = np.random.Generator(np.random.PCG64(3))
+        g2 = np.random.Generator(np.random.PCG64(3))
+        assert np.array_equal(
+            topology.select_peers_batch(alive, g1),
+            view.select_peers_batch(alive, g2),
+        )
+
+    def test_from_topologies_adopts_existing_graphs(self):
+        topologies = [
+            random_k_out_topology(40, 5, RandomSource(seed)) for seed in (1, 2)
+        ]
+        reference = [topology.adjacency_copy() for topology in topologies]
+        block = ReplicatedStaticBlock.from_topologies(topologies)
+        for replica, adjacency in enumerate(reference):
+            view = block.view(replica)
+            assert view.adjacency_copy() == adjacency
+
+    def test_draw_k_out_peers_distinct_and_self_free(self):
+        peers = draw_k_out_peers(50, 7, RandomSource(11))
+        for node, row in enumerate(peers):
+            assert len(set(row.tolist())) == 7
+            assert node not in row
+
+    def test_isolated_last_csr_row_draws_no_peer(self):
+        # Regression: an isolated node owning the LAST CSR row made
+        # StaticTopology.select_peers_batch gather at offset + 0 ==
+        # flat.size — an IndexError before the isolated-lookup pinning.
+        topology = StaticTopology({0: [1], 1: [0], 2: [0, 1]}, name="tail")
+        topology.on_node_removed(2)  # node 1 keeps the last row; crash 0 next
+        topology.on_node_removed(0)  # node 1 is now isolated AND last
+        generator = np.random.Generator(np.random.PCG64(0))
+        peers = topology.select_peers_batch(np.array([1], dtype=np.int64), generator)
+        assert peers.tolist() == [-1]
+
+    def test_isolated_nodes_draw_no_peer(self):
+        topology = StaticTopology({0: [1], 1: [0], 2: []}, name="tiny")
+        block = ReplicatedStaticBlock.from_topologies([topology])
+        generator = np.random.Generator(np.random.PCG64(0))
+        peers = block.view(0).select_peers_batch(
+            np.array([0, 1, 2], dtype=np.int64), generator
+        )
+        assert peers[2] == -1
+        assert peers[0] == 1 and peers[1] == 0
+
+
+class TestReplicatedNewscastBlock:
+    def test_bootstrap_matches_standalone_overlays(self):
+        rngs = [RandomSource(100 + index) for index in range(REPLICAS)]
+        block = ReplicatedNewscastBlock.bootstrap(
+            REPLICAS, SIZE, DEGREE, [RandomSource(100 + i) for i in range(REPLICAS)]
+        )
+        for index, rng in enumerate(rngs):
+            standalone = VectorizedNewscastOverlay.bootstrap(SIZE, DEGREE, rng)
+            adopted = block.overlay(index)
+            for node in range(0, SIZE, 7):
+                assert adopted.cache_of(node).entries() == standalone.cache_of(
+                    node
+                ).entries()
+
+    def test_stacked_round_matches_private_rounds(self):
+        block = ReplicatedNewscastBlock.bootstrap(
+            2, SIZE, DEGREE, [RandomSource(7), RandomSource(8)]
+        )
+        solo_a = VectorizedNewscastOverlay.bootstrap(SIZE, DEGREE, RandomSource(7))
+        solo_b = VectorizedNewscastOverlay.bootstrap(SIZE, DEGREE, RandomSource(8))
+        round_rngs = [RandomSource(21), RandomSource(22)]
+        block.after_cycle_stacked(list(zip(block.views(), round_rngs)))
+        solo_a.after_cycle(RandomSource(21))
+        solo_b.after_cycle(RandomSource(22))
+        for node in range(0, SIZE, 11):
+            assert block.overlay(0).cache_of(node).entries() == solo_a.cache_of(node).entries()
+            assert block.overlay(1).cache_of(node).entries() == solo_b.cache_of(node).entries()
+
+    def test_detached_overlay_falls_back_to_private_maintenance(self):
+        block = ReplicatedNewscastBlock.bootstrap(
+            2, 30, 5, [RandomSource(1), RandomSource(2)]
+        )
+        overlay = block.overlay(0)
+        # Force growth beyond the slice: the overlay detaches itself.
+        overlay._grow_rows(block.stride * 2)
+        assert not block._attached(overlay)
+        before = block.overlay(1).clock
+        block.after_cycle_stacked(
+            [(block.overlay(0), RandomSource(3)), (block.overlay(1), RandomSource(4))]
+        )
+        assert overlay.clock == before + 1  # detached replica still maintained
+        assert block.overlay(1).clock == before + 1
+
+
+class TestReplicaViewSurface:
+    def build_engine(self):
+        root = RandomSource(5)
+        views = [
+            random_k_out_topology(30, 4, root.child("t", index)) for index in range(2)
+        ]
+        configs = [
+            ReplicaConfig(
+                overlay=views[index],
+                initial_values=[float(i) for i in range(30)],
+                rng=root.child("s", index),
+            )
+            for index in range(2)
+        ]
+        return ReplicatedCycleSimulator(configs, AverageFunction())
+
+    def test_membership_round_trip(self):
+        engine = self.build_engine()
+        view = engine.view(0)
+        assert view.participant_ids() == list(range(30))
+        view.crash_node(7)
+        assert 7 in view.crashed_ids()
+        assert 7 not in view.participant_ids()
+        joined = view.add_node(value=3.0, participating=False)
+        assert joined in view.non_participant_ids()
+        promoted = view.promote_non_participants({joined: 3.0})
+        assert promoted == [joined]
+        assert view.state_of(joined) == 3.0
+        # The sibling replica is untouched throughout.
+        assert engine.view(1).participant_ids() == list(range(30))
+
+    def test_restart_epoch_requires_every_value(self):
+        engine = self.build_engine()
+        view = engine.view(0)
+        with pytest.raises(ConfigurationError):
+            view.restart_epoch({0: 1.0})
+        view.restart_epoch({node: 1.0 for node in view.participant_ids()})
+        assert set(view.finite_estimates()) == {1.0}
+
+    def test_stride_growth_preserves_states(self):
+        engine = self.build_engine()
+        view = engine.view(0)
+        sibling_states = engine.view(1).states()
+        for _ in range(40):  # force at least one stride growth
+            view.add_node(participating=True)
+        assert engine.view(1).states() == sibling_states
+        assert view.state_of(45) == 0.0
+
+    def test_contact_counts_cover_participants(self):
+        engine = self.build_engine()
+        engine.run_cycle()
+        counts = engine.view(0).last_cycle_contact_counts
+        assert set(counts) == set(engine.view(0).participant_ids())
+        assert sum(counts.values()) > 0
+
+    def test_contact_counts_survive_stride_growth(self):
+        # Regression: stride growth remaps the last cycle's exchange
+        # ledger; reading contact counts of a later replica used to hit
+        # negative rows (ValueError from bincount).
+        engine = self.build_engine()
+        engine.run(3)
+        before = engine.view(1).last_cycle_contact_counts
+        engine.view(1).add_node(participating=False)  # grows the stride
+        after = engine.view(1).last_cycle_contact_counts
+        assert {node: count for node, count in after.items() if node < 30} == before
+
+    def test_rejects_non_codec_function(self):
+        from repro.core.count import CountMapFunction
+
+        root = RandomSource(5)
+        overlay = random_k_out_topology(20, 4, root.child("t"))
+        config = ReplicaConfig(overlay, [{0: 1.0}] * 20, root.child("s"))
+        with pytest.raises(ConfigurationError):
+            ReplicatedCycleSimulator([config], CountMapFunction())
+
+    def test_rejects_empty_replica_list(self):
+        with pytest.raises(ConfigurationError):
+            ReplicatedCycleSimulator([], AverageFunction())
+
+    def test_state_array_matches_serial_layout(self):
+        engine = self.build_engine()
+        engine.run(3)
+        view = engine.view(1)
+        array = view.state_array()
+        assert array.shape == (30, 1)
+        assert array[:, 0].tolist() == [view.state_of(node) for node in range(30)]
+
+    def test_run_rejects_negative_cycles(self):
+        engine = self.build_engine()
+        with pytest.raises(ConfigurationError):
+            engine.run(-1)
+
+    def test_state_of_unknown_node_raises(self):
+        from repro.common.errors import SimulationError
+
+        engine = self.build_engine()
+        with pytest.raises(SimulationError):
+            engine.view(0).state_of(999)
+
+
+class TestBlockViewScalarSurface:
+    """The OverlayProvider odds and ends of the block views."""
+
+    def build_view(self):
+        block = ReplicatedStaticBlock.build_k_out(40, 5, [RandomSource(3)])
+        return block, block.view(0)
+
+    def test_select_peer_draws_a_neighbour(self):
+        _, view = self.build_view()
+        peer = view.select_peer(0, RandomSource(1))
+        assert peer in view.neighbors(0)
+
+    def test_select_peer_handles_missing_and_isolated(self):
+        block, view = self.build_view()
+        assert view.select_peer(999, RandomSource(1)) is None
+        topology = StaticTopology({0: [1], 1: [0], 2: []}, name="tiny")
+        isolated = ReplicatedStaticBlock.from_topologies([topology]).view(0)
+        assert isolated.select_peer(2, RandomSource(1)) is None
+
+    def test_neighbors_of_unknown_node_raises(self):
+        from repro.common.errors import TopologyError
+
+        _, view = self.build_view()
+        with pytest.raises(TopologyError):
+            view.neighbors(999)
+
+    def test_contains_size_and_repr(self):
+        block, view = self.build_view()
+        assert view.contains(0) and not view.contains(40)
+        assert view.size() == 40
+        assert view.replica == 0
+        with pytest.raises(Exception):
+            block.view(5)
+
+    def test_remove_unknown_node_is_a_noop(self):
+        _, view = self.build_view()
+        before = view.size()
+        view.on_node_removed(999)
+        assert view.size() == before
+
+    def test_add_existing_node_raises(self):
+        from repro.common.errors import TopologyError
+
+        _, view = self.build_view()
+        with pytest.raises(TopologyError):
+            view.on_node_added(0, RandomSource(1))
+
+
+class TestNewscastBlockEdges:
+    def test_mismatched_cache_sizes_rejected(self):
+        from repro.common.errors import MembershipError
+
+        a = VectorizedNewscastOverlay.bootstrap(20, 5, RandomSource(1))
+        b = VectorizedNewscastOverlay.bootstrap(20, 6, RandomSource(2))
+        with pytest.raises(MembershipError):
+            ReplicatedNewscastBlock([a, b])
+
+    def test_double_adoption_rejected(self):
+        from repro.common.errors import MembershipError
+
+        block = ReplicatedNewscastBlock.bootstrap(1, 20, 5, [RandomSource(1)])
+        with pytest.raises(MembershipError):
+            ReplicatedNewscastBlock(block.views())
+
+    def test_bootstrap_requires_one_stream_per_replica(self):
+        from repro.common.errors import MembershipError
+
+        with pytest.raises(MembershipError):
+            ReplicatedNewscastBlock.bootstrap(2, 20, 5, [RandomSource(1)])
+
+    def test_clock_divergence_falls_back_to_private_round(self):
+        block = ReplicatedNewscastBlock.bootstrap(
+            2, 30, 5, [RandomSource(1), RandomSource(2)]
+        )
+        # Drive one replica ahead on its own; the stacked pass must not
+        # stamp the laggard's exchanges with the leader's clock.
+        block.overlay(0).after_cycle(RandomSource(9))
+        block.after_cycle_stacked(
+            [(block.overlay(0), RandomSource(10)), (block.overlay(1), RandomSource(11))]
+        )
+        assert block.overlay(0).clock == block.overlay(1).clock + 1
+
+
+class TestReplicatedNewscastWithExtraParams:
+    def test_extra_bootstrap_params_fall_back_per_replica(self):
+        spec = TopologySpec(
+            "newscast", degree=6, params={"vectorized": True, "warmup_cycles": 2}
+        )
+        plan = RunPlan(
+            topology=spec, size=40, cycles=4, values=uniform_initial_values
+        )
+        assert plan.supports_replication()
+        serial = repeat_traces(2, SEED, plan=plan, engine="serial")
+        replicated = repeat_traces(2, SEED, plan=plan)
+        assert_traces_identical(serial, replicated)
