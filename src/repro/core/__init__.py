@@ -29,6 +29,7 @@ from .functions import (
     VectorFunction,
 )
 from .instances import (
+    REDUCERS,
     MultiInstanceCount,
     multi_instance_peak_values,
     reduce_size_estimates,
@@ -69,6 +70,7 @@ __all__ = [
     "EpochTracker",
     "cycles_for_accuracy",
     "MultiInstanceCount",
+    "REDUCERS",
     "multi_instance_peak_values",
     "reduce_size_estimates",
     "ExchangeRequest",

@@ -30,9 +30,20 @@ from .functions import AverageFunction, VectorFunction
 
 __all__ = [
     "MultiInstanceCount",
+    "REDUCERS",
     "multi_instance_peak_values",
     "reduce_size_estimates",
 ]
+
+
+#: Reduction rules for combining the ``t`` per-instance size estimates.
+#: ``"trimmed"`` is the paper's Section 7.3 symmetric trimmed mean (drop
+#: ``⌊t·f⌋`` from each end); ``"median"`` is the hardened variant that
+#: stays correct as long as *strictly fewer than half* of the instances
+#: are corrupted — the defence against colluding byzantine reporters that
+#: ruin a coordinated subset of the instances (see
+#: :mod:`repro.simulator.adversarial`).
+REDUCERS = ("trimmed", "median")
 
 
 def multi_instance_peak_values(
@@ -63,7 +74,9 @@ def multi_instance_peak_values(
 
 
 def reduce_size_estimates(
-    estimates: Sequence[Optional[float]], discard_fraction: float = 1.0 / 3.0
+    estimates: Sequence[Optional[float]],
+    discard_fraction: float = 1.0 / 3.0,
+    reducer: str = "trimmed",
 ) -> float:
     """Combine per-instance averaging estimates into one size estimate.
 
@@ -77,11 +90,23 @@ def reduce_size_estimates(
     estimates:
         Per-instance converged averaging estimates (``None`` allowed).
     discard_fraction:
-        The fraction trimmed from each end (the paper uses 1/3).
+        The fraction trimmed from each end (the paper uses 1/3; ignored
+        by the median reducer).
+    reducer:
+        One of :data:`REDUCERS`.  ``"trimmed"`` tolerates up to
+        ``⌊t·discard_fraction⌋`` ruined instances per tail; ``"median"``
+        tolerates any corrupted *minority* regardless of how the lies are
+        distributed.
     """
+    if reducer not in REDUCERS:
+        raise ConfigurationError(
+            f"reducer must be one of {REDUCERS}, got {reducer!r}"
+        )
     sizes = [network_size_from_estimate(estimate) for estimate in estimates]
     if not sizes:
         return math.inf
+    if reducer == "median":
+        return float(np.median(sizes))
     return trimmed_mean(sizes, discard_fraction)
 
 
@@ -99,12 +124,22 @@ class MultiInstanceCount:
         The leader selected by each instance.
     discard_fraction:
         Trim fraction used when reducing the final estimates.
+    reducer:
+        Reduction rule, one of :data:`REDUCERS` (``"trimmed"`` is the
+        paper's default; ``"median"`` is the byzantine-hardened variant).
     """
 
     function: VectorFunction
     initial_values: Dict[int, Tuple[float, ...]]
     leaders: List[int]
     discard_fraction: float = 1.0 / 3.0
+    reducer: str = "trimmed"
+
+    def __post_init__(self) -> None:
+        if self.reducer not in REDUCERS:
+            raise ConfigurationError(
+                f"reducer must be one of {REDUCERS}, got {self.reducer!r}"
+            )
 
     @classmethod
     def create(
@@ -113,6 +148,7 @@ class MultiInstanceCount:
         instance_count: int,
         rng: RandomSource,
         discard_fraction: float = 1.0 / 3.0,
+        reducer: str = "trimmed",
     ) -> "MultiInstanceCount":
         """Build the function and initial values for ``instance_count`` instances."""
         values, leaders = multi_instance_peak_values(node_ids, instance_count, rng)
@@ -122,6 +158,7 @@ class MultiInstanceCount:
             initial_values=values,
             leaders=leaders,
             discard_fraction=discard_fraction,
+            reducer=reducer,
         )
 
     @property
@@ -132,23 +169,26 @@ class MultiInstanceCount:
     def node_size_estimate(self, state: Tuple[float, ...]) -> float:
         """The size estimate a node with vector state ``state`` would report."""
         estimates = self.function.estimates(state)
-        return reduce_size_estimates(estimates, self.discard_fraction)
+        return reduce_size_estimates(estimates, self.discard_fraction, self.reducer)
 
     def size_estimates(self, states: Dict[int, Tuple[float, ...]]) -> Dict[int, float]:
         """Per-node size estimates for a whole population of states."""
         return {node: self.node_size_estimate(state) for node, state in states.items()}
 
     def size_estimates_array(self, state_block: np.ndarray) -> np.ndarray:
-        """Batched trimmed-mean reduction over a ``(nodes, t)`` state block.
+        """Batched reduction over a ``(nodes, t)`` state block.
 
         ``state_block`` is the raw array the vectorised engine holds for a
         t-instance COUNT run (``state_array()``), one AVERAGE column per
-        instance.  Every instance is present at every node, so this is
-        :func:`~repro.core.count.count_estimates_from_matrix` with a full
-        mask; results match :meth:`size_estimates` up to floating-point
-        summation order — including the validation: fractions at or above
-        0.5 are rejected exactly as ``trimmed_mean`` rejects them on the
-        scalar path.
+        instance.  Every instance is present at every node, so the trimmed
+        reducer is :func:`~repro.core.count.count_estimates_from_matrix`
+        with a full mask; results match :meth:`size_estimates` up to
+        floating-point summation order — including the validation:
+        fractions at or above 0.5 are rejected exactly as ``trimmed_mean``
+        rejects them on the scalar path.  The median reducer mirrors
+        :func:`~repro.core.count.network_size_from_estimate` per cell
+        (non-positive averages invert to an infinite size guess) before
+        taking the per-node median.
         """
         if self.discard_fraction >= 0.5:
             raise ConfigurationError("discard_fraction must be below 0.5")
@@ -158,5 +198,10 @@ class MultiInstanceCount:
                 f"expected a (nodes, {self.instance_count}) state block, "
                 f"got shape {block.shape}"
             )
+        if self.reducer == "median":
+            sizes = np.full_like(block, np.inf)
+            positive = block > 0.0
+            sizes[positive] = 1.0 / block[positive]
+            return np.median(sizes, axis=1)
         mask = np.ones_like(block, dtype=bool)
         return count_estimates_from_matrix(block, mask, self.discard_fraction)

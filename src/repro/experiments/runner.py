@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 from ..common.errors import ConfigurationError
 from ..common.rng import RandomSource, derive_seed
+from ..common.validation import require_non_negative, require_positive, require_probability
 from ..core.count import LeaderElection, peak_initial_values
 from ..core.epoch import EpochConfig
 from ..core.functions import AggregationFunction, AverageFunction
@@ -31,7 +32,7 @@ from ..simulator.asynchrony import (
     build_async_count,
 )
 from ..simulator.epochs import EpochDriver, EpochedRunResult, FailureFactory
-from ..simulator.failures import FailureModel
+from ..simulator.failures import FailureModel, ReachabilityModel
 from ..simulator.metrics import SimulationTrace
 from ..simulator.replicated import ReplicaConfig, ReplicatedCycleSimulator
 from ..simulator.transport import PERFECT_TRANSPORT, TransportModel
@@ -40,6 +41,8 @@ from ..topology.replicated import ReplicatedStaticBlock
 
 __all__ = [
     "uniform_initial_values",
+    "pareto_initial_values",
+    "TimeVaryingValues",
     "peak_values_for_count",
     "run_average_once",
     "run_epoched_count",
@@ -63,6 +66,78 @@ def uniform_initial_values(size: int, rng: RandomSource, low: float = 0.0, high:
     scalar loop — just a few orders of magnitude cheaper per run.
     """
     return rng.generator.uniform(low, high, size).tolist()
+
+
+def pareto_initial_values(
+    size: int, rng: RandomSource, alpha: float = 1.5, scale: float = 1.0
+) -> List[float]:
+    """Heavy-tailed local values: shifted Pareto with tail index ``alpha``.
+
+    Models populations where a few nodes hold most of the mass (file
+    counts, storage, load) — the regime where AVERAGE's variance
+    reduction is stress-tested hardest, because one straggler node can
+    carry a large share of the global sum.  Element ``i`` equals
+    ``scale * (1 + X_i)`` with ``X_i ~ Pareto(alpha)``, so the minimum
+    is ``scale`` and the mean is ``scale * alpha / (alpha - 1)`` for
+    ``alpha > 1`` (infinite for ``alpha <= 1``).
+    """
+    require_positive(alpha, "alpha")
+    require_positive(scale, "scale")
+    return (scale * (1.0 + rng.generator.pareto(alpha, size))).tolist()
+
+
+@dataclass
+class TimeVaryingValues(FailureModel):
+    """Re-randomise a slice of local values each cycle around a drifting mean.
+
+    The paper's protocol is *proactive*: estimates adapt when the
+    underlying values change.  This model exercises that claim by
+    resampling ``fraction`` of the participants' local values every
+    cycle from ``Normal(mean(c), jitter)``, where the mean follows a
+    sinusoid ``base + amplitude * sin(2π c / period)``.  A converged
+    AVERAGE run should track the moving mean with a lag of a few cycles.
+
+    Despite living in the failure-model slot (the one per-cycle hook all
+    three cycle engines share), nothing crashes: the model only calls
+    ``override_values`` through the engines' public API, so it composes
+    with crash/churn models via
+    :class:`~repro.simulator.failures.CompositeFailureModel`.
+    """
+
+    base: float = 50.0
+    amplitude: float = 25.0
+    period: int = 20
+    fraction: float = 0.1
+    jitter: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.period, "period")
+        require_probability(self.fraction, "fraction")
+        require_non_negative(self.amplitude, "amplitude")
+        require_non_negative(self.jitter, "jitter")
+
+    def current_mean(self, cycle_index: int) -> float:
+        """The drifting population mean at cycle ``cycle_index``."""
+        return self.base + self.amplitude * math.sin(
+            2.0 * math.pi * cycle_index / self.period
+        )
+
+    def apply(self, simulator, cycle_index: int, rng: RandomSource) -> None:
+        participants = simulator.participant_ids()
+        count = int(self.fraction * len(participants) + 0.5)
+        if count <= 0:
+            return
+        chosen = sorted(rng.sample(participants, count))
+        fresh = rng.child("values", cycle_index).generator.normal(
+            self.current_mean(cycle_index), self.jitter, len(chosen)
+        )
+        simulator.override_values(chosen, fresh.reshape(-1, 1))
+
+    def describe(self) -> str:
+        return (
+            f"values of {self.fraction:.0%} of nodes resampled per cycle "
+            f"around {self.base}±{self.amplitude} (period {self.period})"
+        )
 
 
 def peak_values_for_count(size: int, peak_value: Optional[float] = None) -> List[float]:
@@ -277,6 +352,12 @@ class RunPlan:
     failure_factory:
         Builds one *fresh* (stateful) failure model per repetition, or
         ``None`` for the benign scenario.
+    reachability:
+        Optional correlated-failure reachability model (partition
+        outage, NAT asymmetry, or a composite), shared by all
+        repetitions — the models are stateless pair predicates, so
+        sharing is safe.  Applied identically on the serial and
+        replicated paths.
     record_every:
         Metrics cadence forwarded to the engines.
     collect:
@@ -291,6 +372,7 @@ class RunPlan:
     function_factory: Callable[[], AggregationFunction] = AverageFunction
     transport: TransportModel = PERFECT_TRANSPORT
     failure_factory: Optional[Callable[[], Optional[FailureModel]]] = None
+    reachability: Optional[ReachabilityModel] = None
     record_every: int = 1
     collect: Callable = field(default=_default_collect)
 
@@ -315,6 +397,7 @@ class RunPlan:
             transport=self.transport,
             failure_model=self._failure_model(),
             record_every=self.record_every,
+            reachability=self.reachability,
         )
         simulator.run(self.cycles)
         return self.collect(simulator)
@@ -404,6 +487,7 @@ def _run_replicated(repeats: int, seed: int, plan: RunPlan) -> List[T]:
         plan.function_factory(),
         transport=plan.transport,
         record_every=plan.record_every,
+        reachability=plan.reachability,
     )
     engine.run(plan.cycles)
     return [plan.collect(view) for view in engine.views()]

@@ -51,6 +51,8 @@ class NewscastOverlay(OverlayProvider):
         self._caches: Dict[int, NewscastCache] = {}
         self._alive: Set[int] = set()
         self._clock: float = 0.0
+        self._reachability = None
+        self._reachability_round = 0
         self.name = f"newscast(c={cache_size})"
         #: Number of NEWSCAST exchanges performed in the most recent cycle.
         self.last_cycle_exchanges = 0
@@ -134,9 +136,26 @@ class NewscastOverlay(OverlayProvider):
             self._caches[contact].insert(CacheEntry(timestamp=self._clock, peer_id=node_id))
         self._caches[node_id] = cache
 
+    def set_reachability(self, model) -> None:
+        """Constrain membership exchanges by a pairwise reachability model.
+
+        NEWSCAST gossip rides the same links as aggregation, so a
+        partition that severs aggregation exchanges must sever membership
+        maintenance too — that is what makes the overlay itself split into
+        disconnected components during an outage and re-merge after it
+        heals.  The model's cycle indices are counted from the moment of
+        attachment (1-based, like engine cycles), *not* from the overlay's
+        own clock: bootstrap warm-up rounds advance ``_clock`` before the
+        simulation starts, and outage windows are expressed in simulation
+        cycles.
+        """
+        self._reachability = model
+        self._reachability_round = 0
+
     def after_cycle(self, rng: RandomSource) -> None:
         """Run one round of NEWSCAST exchanges over all live nodes."""
         self._clock += 1.0
+        self._reachability_round += 1
         exchanges = 0
         order = list(self._alive)
         rng.shuffle_in_place(order)
@@ -151,6 +170,12 @@ class NewscastOverlay(OverlayProvider):
                 # The selected peer has crashed: the exchange times out and
                 # nothing is merged.  The stale entry will be displaced by
                 # fresher news in subsequent merges.
+                continue
+            if self._reachability is not None and self._reachability.blocks(
+                node, peer, self._reachability_round
+            ):
+                # Unreachable peer: the membership exchange is dropped just
+                # like an aggregation exchange over the same broken link.
                 continue
             self._exchange(node, peer)
             exchanges += 1

@@ -453,6 +453,8 @@ class VectorizedNewscastOverlay(OverlayProvider):
         self._cache_size = int(cache_size)
         self._rng = rng
         self._clock = 0
+        self._reachability = None
+        self._reachability_round = 0
         self.name = f"newscast-array(c={cache_size})"
         #: Number of NEWSCAST exchanges performed in the most recent cycle.
         self.last_cycle_exchanges = 0
@@ -637,6 +639,19 @@ class VectorizedNewscastOverlay(OverlayProvider):
                 np.count_nonzero(self._packed[contact_row] >= 0)
             )
 
+    def set_reachability(self, model) -> None:
+        """Constrain membership exchanges by a pairwise reachability model.
+
+        Mirrors :meth:`NewscastOverlay.set_reachability`: blocked
+        ``initiator → peer`` pairs skip their membership exchange, which
+        lets partition outages split the overlay itself.  The model's
+        cycle indices count maintenance rounds from the moment of
+        attachment (1-based, aligned with engine cycles), not from the
+        overlay's warm-up-advanced clock.
+        """
+        self._reachability = model
+        self._reachability_round = 0
+
     def after_cycle(self, rng: RandomSource) -> None:
         """Run one batched round of NEWSCAST exchanges over all live nodes.
 
@@ -662,6 +677,7 @@ class VectorizedNewscastOverlay(OverlayProvider):
         the usable exchanges (empty arrays when nobody can gossip).
         """
         self._clock += 1
+        self._reachability_round += 1
         count = self._alive_count
         if count == 0:
             self.last_cycle_exchanges = 0
@@ -677,6 +693,12 @@ class VectorizedNewscastOverlay(OverlayProvider):
         peer_ids[cache_sizes == 0] = 0
         peer_rows = self._row_by_id[peer_ids]
         usable = (cache_sizes > 0) & (peer_rows >= 0)
+        if self._reachability is not None:
+            blocked = self._reachability.blocked_pairs(
+                self._id_by_row[initiators], peer_ids, self._reachability_round
+            )
+            if blocked is not None:
+                usable &= ~blocked
         initiators = initiators[usable]
         peer_rows = peer_rows[usable]
         self.last_cycle_exchanges = int(initiators.size)

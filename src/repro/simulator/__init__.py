@@ -29,6 +29,13 @@ from .asynchrony import (
     scenario_from_environment,
     validation_grid,
 )
+from .adversarial import (
+    BYZANTINE_STRATEGIES,
+    ByzantineReporterModel,
+    count_deflation_attack,
+    count_inflation_attack,
+    targeted_instance_attack,
+)
 from .cycle_sim import CycleSimulator, InitialValues
 from .engine import EventHandle, EventScheduler
 from .epochs import (
@@ -41,11 +48,17 @@ from .event_sim import EventDrivenNetwork, Message, SimulatedProcess
 from .failures import (
     ChurnModel,
     CompositeFailureModel,
+    CompositeReachabilityModel,
     CountCrashModel,
     FailureModel,
+    HeavyTailedChurnModel,
+    NatReachabilityModel,
     NoFailures,
+    PartitionOutageModel,
     ProportionalCrashModel,
+    ReachabilityModel,
     SuddenDeathModel,
+    TraceChurnModel,
 )
 from .metrics import (
     CycleRecord,
@@ -67,6 +80,7 @@ from .transport import (
     DelayModel,
     ExchangeOutcome,
     TransportModel,
+    apply_reachability,
 )
 from .vectorized import VectorizedCycleSimulator
 
@@ -106,6 +120,18 @@ __all__ = [
     "ChurnModel",
     "CountCrashModel",
     "CompositeFailureModel",
+    "TraceChurnModel",
+    "HeavyTailedChurnModel",
+    "ReachabilityModel",
+    "PartitionOutageModel",
+    "NatReachabilityModel",
+    "CompositeReachabilityModel",
+    "BYZANTINE_STRATEGIES",
+    "ByzantineReporterModel",
+    "count_inflation_attack",
+    "count_deflation_attack",
+    "targeted_instance_attack",
+    "apply_reachability",
     "CycleRecord",
     "SimulationTrace",
     "CyclePlan",
@@ -155,6 +181,7 @@ def make_simulator(
     failure_model: Optional[FailureModel] = None,
     record_every: int = 1,
     engine: str = "auto",
+    reachability: Optional[ReachabilityModel] = None,
 ):
     """Build the fastest cycle engine that supports the configuration.
 
@@ -180,4 +207,5 @@ def make_simulator(
         transport=transport,
         failure_model=failure_model,
         record_every=record_every,
+        reachability=reachability,
     )

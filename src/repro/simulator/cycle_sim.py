@@ -45,6 +45,7 @@ from .transport import (
     OUTCOME_RESPONSE_LOST,
     PERFECT_TRANSPORT,
     TransportModel,
+    apply_reachability,
 )
 
 __all__ = ["CycleSimulator", "RecordingScheduleMixin"]
@@ -161,12 +162,17 @@ class CycleSimulator(RecordingScheduleMixin):
         transport: TransportModel = PERFECT_TRANSPORT,
         failure_model: Optional[FailureModel] = None,
         record_every: int = 1,
+        reachability=None,
     ) -> None:
         self._init_recording(record_every)
         self._overlay = overlay
         self._function = function
         self._transport = transport
         self._failure_model = failure_model or NoFailures()
+        self._reachability = reachability
+        set_reachability = getattr(overlay, "set_reachability", None)
+        if reachability is not None and set_reachability is not None:
+            set_reachability(reachability)
 
         self._selection_rng = rng.child("selection")
         self._transport_rng = rng.child("transport")
@@ -327,6 +333,34 @@ class CycleSimulator(RecordingScheduleMixin):
                 raise ConfigurationError(f"missing restart value for node {node_id}")
             self._states[node_id] = self._function.initial_state(values[node_id])
 
+    def override_values(self, node_ids: Sequence[int], values: Any) -> None:
+        """Re-assert local values at selected participants, mid-epoch.
+
+        ``values`` is an array-like of shape ``(n,)`` (scalar functions)
+        or ``(n, components)`` (vector functions), aligned with
+        ``node_ids``.  States are rebuilt through the function's
+        ``initial_state`` codec — the per-node form of the batched
+        scatter the vectorised engine performs, so the two engines stay
+        bit-identical.  This is the hook byzantine reporter models use to
+        inject forged values each cycle.
+        """
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim == 1:
+            array = array.reshape(-1, 1)
+        if array.shape[0] != len(node_ids):
+            raise ConfigurationError(
+                f"override_values got {len(node_ids)} nodes but "
+                f"{array.shape[0]} value rows"
+            )
+        initial_state = self._function.initial_state
+        for position, node_id in enumerate(node_ids):
+            node = int(node_id)
+            if node not in self._participants:
+                raise SimulationError(f"node {node} is not participating")
+            row = array[position]
+            local = float(row[0]) if row.size == 1 else tuple(row.tolist())
+            self._states[node] = initial_state(local)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -352,6 +386,10 @@ class CycleSimulator(RecordingScheduleMixin):
             self._selection_rng,
             self._transport,
             self._transport_rng,
+        )
+        apply_reachability(
+            self._reachability, plan.initiators, plan.peers, plan.outcomes,
+            self._cycle_index,
         )
         states = self._states
         merge = self._function.merge

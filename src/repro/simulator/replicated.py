@@ -53,7 +53,7 @@ from .cycle_sim import CycleSimulator, InitialValues
 from .failures import FailureModel, NoFailures
 from .metrics import CycleRecord, SimulationTrace, estimate_statistics
 from .sampling import draw_cycle_plan, stack_cycle_plans
-from .transport import PERFECT_TRANSPORT, TransportModel
+from .transport import PERFECT_TRANSPORT, TransportModel, apply_reachability
 from .vectorized import apply_merge_rounds, effective_exchange_filter
 
 __all__ = ["ReplicaConfig", "ReplicatedCycleSimulator", "ReplicaView"]
@@ -141,6 +141,12 @@ class ReplicatedCycleSimulator:
         replica's own transport stream).
     record_every:
         Per-cycle metrics cadence, as in the serial engines.
+    reachability:
+        Optional pairwise connectivity constraint
+        (:class:`~repro.simulator.failures.ReachabilityModel`) shared by
+        all replicas.  Each replica's plan is filtered on its *local* node
+        ids before stacking, so the blocked slots are identical to what
+        the serial engines would block for the same seed.
     """
 
     def __init__(
@@ -149,6 +155,7 @@ class ReplicatedCycleSimulator:
         function: AggregationFunction,
         transport: TransportModel = PERFECT_TRANSPORT,
         record_every: int = 1,
+        reachability=None,
     ) -> None:
         if not replicas:
             raise ConfigurationError("need at least one replica")
@@ -161,6 +168,7 @@ class ReplicatedCycleSimulator:
             raise ConfigurationError("record_every must be at least 1")
         self._function = function
         self._transport = transport
+        self._reachability = reachability
         self._record_every = int(record_every)
         self._width = function.state_width()
         self._count = len(replicas)
@@ -188,6 +196,10 @@ class ReplicatedCycleSimulator:
         for index, (config, node_ids) in enumerate(zip(replicas, node_sets)):
             replica = _Replica(config)
             replica.next_node_id = max(node_ids) + 1 if node_ids else 0
+            if reachability is not None and hasattr(
+                config.overlay, "set_reachability"
+            ):
+                config.overlay.set_reachability(reachability)
             self._replicas.append(replica)
             if not node_ids:
                 continue
@@ -293,6 +305,18 @@ class ReplicatedCycleSimulator:
             )
             for index, replica in enumerate(self._replicas)
         ]
+        # Correlated connectivity blocks apply to each replica's plan in
+        # *local* node ids (the model's view), before block offsets shift
+        # the rows — same slots the serial engines would drop.
+        blocked_any = False
+        for plan in plans:
+            blocked_any |= apply_reachability(
+                self._reachability,
+                plan.initiators,
+                plan.peers,
+                plan.outcomes,
+                self._cycle_index,
+            )
         offsets = [index * self._stride for index in range(self._count)]
         stacked = stack_cycle_plans(plans, offsets)
 
@@ -304,7 +328,7 @@ class ReplicatedCycleSimulator:
                 stacked.outcomes,
                 self._participant_mask,
                 all_present=participants_total == self._participant_mask.size,
-                perfect=self._transport.is_perfect(),
+                perfect=self._transport.is_perfect() and not blocked_any,
             )
         )
         apply_merge_rounds(
@@ -649,6 +673,29 @@ class ReplicaView:
                     np.asarray(fresh, dtype=np.float64)
                 )
             )
+
+    def override_values(self, node_ids: Sequence[int], values: Any) -> None:
+        """Forcibly re-assert local values on ``node_ids`` (one scatter).
+
+        The batched hook byzantine reporter models use to inject forged
+        values; semantics match the serial engines' ``override_values``.
+        """
+        engine = self._engine
+        ids = np.asarray(list(node_ids), dtype=np.int64)
+        if ids.size == 0:
+            return
+        for node in ids:
+            if not self._is_participant(int(node)):
+                raise SimulationError(f"node {int(node)} is not participating")
+        encoded = engine._function.initial_state_array(
+            np.asarray(values, dtype=np.float64)
+        )
+        if encoded.shape[0] != ids.size:
+            raise ConfigurationError(
+                f"override_values got {ids.size} nodes but "
+                f"{encoded.shape[0]} value rows"
+            )
+        engine._states[self._base + ids] = encoded
 
     def _is_participant(self, node_id: int) -> bool:
         engine = self._engine

@@ -37,6 +37,7 @@ __all__ = [
     "PERFECT_TRANSPORT",
     "DelayModel",
     "DELAY_DISTRIBUTIONS",
+    "apply_reachability",
     "classify_async_exchanges",
 ]
 
@@ -130,6 +131,43 @@ class TransportModel:
 
 #: A transport with no failures at all, shared as a convenient default.
 PERFECT_TRANSPORT = TransportModel()
+
+
+def apply_reachability(
+    reachability,
+    initiators: np.ndarray,
+    peers: np.ndarray,
+    outcomes: np.ndarray,
+    cycle_index: int,
+) -> bool:
+    """Overwrite ``outcomes`` with ``DROPPED`` for unreachable pairs.
+
+    Correlated connectivity failures (partition outages, NAT-style
+    asymmetric reachability — see
+    :class:`~repro.simulator.failures.ReachabilityModel`) express
+    themselves through the same outcome codes as probabilistic transport
+    loss: an exchange whose initiator cannot reach its peer silently
+    fails, exactly like a down link.  Every engine funnels its drawn
+    exchange slots through this helper *after* drawing the cycle plan and
+    *before* applying merges, so the reference and vectorised paths drop
+    the identical slots.
+
+    ``outcomes`` is mutated in place; returns whether anything was
+    blocked (engines use this to disable perfect-transport shortcuts for
+    the cycle).
+    """
+    if reachability is None or peers.size == 0:
+        return False
+    blocked = reachability.blocked_pairs(initiators, peers, cycle_index)
+    if blocked is None:
+        return False
+    # ``-1`` marks slots without a usable peer; they never reach a merge,
+    # but masking them keeps models free to index peer arrays directly.
+    blocked = blocked & (peers >= 0)
+    if not blocked.any():
+        return False
+    outcomes[blocked] = OUTCOME_DROPPED
+    return True
 
 
 #: Latency distributions understood by :class:`DelayModel`.

@@ -33,7 +33,7 @@ automatically when the function and overlay support it.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -50,6 +50,7 @@ from .transport import (
     OUTCOME_DROPPED,
     PERFECT_TRANSPORT,
     TransportModel,
+    apply_reachability,
 )
 
 __all__ = [
@@ -175,6 +176,7 @@ class VectorizedCycleSimulator(RecordingScheduleMixin):
         transport: TransportModel = PERFECT_TRANSPORT,
         failure_model: Optional[FailureModel] = None,
         record_every: int = 1,
+        reachability=None,
     ) -> None:
         if not function.supports_vectorized():
             raise ConfigurationError(
@@ -186,6 +188,10 @@ class VectorizedCycleSimulator(RecordingScheduleMixin):
         self._function = function
         self._transport = transport
         self._failure_model = failure_model or NoFailures()
+        self._reachability = reachability
+        set_reachability = getattr(overlay, "set_reachability", None)
+        if reachability is not None and set_reachability is not None:
+            set_reachability(reachability)
 
         self._selection_rng = rng.child("selection")
         self._transport_rng = rng.child("transport")
@@ -359,6 +365,37 @@ class VectorizedCycleSimulator(RecordingScheduleMixin):
                 np.asarray(fresh, dtype=np.float64)
             )
 
+    def override_values(self, node_ids: Sequence[int], values: Any) -> None:
+        """Re-assert local values at selected participants, mid-epoch.
+
+        The batched form of
+        :meth:`~repro.simulator.cycle_sim.CycleSimulator.override_values`:
+        one ``initial_state_array`` encode plus one scatter.  The codec
+        contract (array encoding bit-identical to the scalar
+        ``initial_state``) keeps the two engines in lockstep.
+        """
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        if (
+            int(ids.min()) < 0
+            or int(ids.max()) >= self._capacity
+            or not bool(np.all(self._participant_mask[ids]))
+        ):
+            bad = next(
+                int(node) for node in ids if not self._is_participant(int(node))
+            )
+            raise SimulationError(f"node {bad} is not participating")
+        encoded = self._function.initial_state_array(
+            np.asarray(values, dtype=np.float64)
+        )
+        if encoded.shape[0] != ids.size:
+            raise ConfigurationError(
+                f"override_values got {ids.size} nodes but "
+                f"{encoded.shape[0]} value rows"
+            )
+        self._states[ids] = encoded
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -378,13 +415,19 @@ class VectorizedCycleSimulator(RecordingScheduleMixin):
             self._transport,
             self._transport_rng,
         )
+        blocked_any = apply_reachability(
+            self._reachability, plan.initiators, plan.peers, plan.outcomes,
+            self._cycle_index,
+        )
         eff_initiators, eff_peers, eff_completed, _ = effective_exchange_filter(
             plan.initiators,
             plan.peers,
             plan.outcomes,
             self._participant_mask,
             all_present=participants.size == self._capacity,
-            perfect=self._transport.is_perfect(),
+            # A reachability block turns outcomes to DROPPED even under a
+            # perfect transport, so the filter must consult them.
+            perfect=self._transport.is_perfect() and not blocked_any,
         )
         apply_merge_rounds(
             self._states,

@@ -16,6 +16,11 @@ from .graph_stats import (
     compute_graph_statistics,
     estimate_average_path_length,
 )
+from .partitions import (
+    effective_component_count,
+    effective_components,
+    overlay_is_split,
+)
 from .random_regular import random_k_out_topology, random_regular_topology
 from .replicated import (
     ReplicatedStaticBlock,
@@ -46,4 +51,7 @@ __all__ = [
     "compute_graph_statistics",
     "clustering_coefficient",
     "estimate_average_path_length",
+    "effective_components",
+    "effective_component_count",
+    "overlay_is_split",
 ]

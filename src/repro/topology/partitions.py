@@ -1,0 +1,134 @@
+"""Partition analysis of overlays under reachability constraints.
+
+A correlated outage (see
+:class:`~repro.simulator.failures.PartitionOutageModel`) is only
+convincing if the *overlay itself* demonstrably splits: during the
+outage the NEWSCAST cache graph — with the severed links removed — must
+fall apart into disconnected components, and after the heal the
+components must gossip themselves back into one.  This module measures
+exactly that: the weakly-connected components of an overlay's *effective*
+graph, i.e. its neighbour edges minus the pairs a reachability model
+currently blocks.
+
+The reachability argument is duck-typed (anything with ``blocked_pairs``
+works) so this package never imports :mod:`repro.simulator`, which
+imports topology itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .base import OverlayProvider
+
+__all__ = [
+    "effective_components",
+    "effective_component_count",
+    "overlay_is_split",
+]
+
+
+def effective_components(
+    overlay: OverlayProvider,
+    reachability=None,
+    cycle_index: int = 0,
+) -> List[List[int]]:
+    """Weakly-connected components of the overlay's effective graph.
+
+    The effective graph contains an (undirected) edge ``{a, b}`` when
+    ``b`` is a neighbour of ``a`` and the reachability model blocks the
+    exchange in *neither* direction at ``cycle_index`` — a link both ends
+    can still use.  With ``reachability=None`` this is the plain
+    weakly-connected component decomposition of the overlay.
+
+    Returns the components as sorted id lists, largest first (ties broken
+    by smallest member id).
+    """
+    node_ids = overlay.node_ids()
+    if not node_ids:
+        return []
+    index_of: Dict[int, int] = {node: i for i, node in enumerate(node_ids)}
+    adjacency: List[List[int]] = [[] for _ in node_ids]
+    for node in node_ids:
+        neighbours = [
+            peer for peer in overlay.neighbors(node) if peer in index_of
+        ]
+        if not neighbours:
+            continue
+        if reachability is not None:
+            sources = np.full(len(neighbours), node, dtype=np.int64)
+            targets = np.asarray(neighbours, dtype=np.int64)
+            outbound = reachability.blocked_pairs(sources, targets, cycle_index)
+            inbound = reachability.blocked_pairs(targets, sources, cycle_index)
+            if outbound is not None or inbound is not None:
+                blocked = np.zeros(len(neighbours), dtype=bool)
+                if outbound is not None:
+                    blocked |= outbound
+                if inbound is not None:
+                    blocked |= inbound
+                neighbours = [
+                    peer
+                    for peer, is_blocked in zip(neighbours, blocked)
+                    if not is_blocked
+                ]
+        row = index_of[node]
+        for peer in neighbours:
+            column = index_of[peer]
+            adjacency[row].append(column)
+            adjacency[column].append(row)
+
+    seen = [False] * len(node_ids)
+    components: List[List[int]] = []
+    for start in range(len(node_ids)):
+        if seen[start]:
+            continue
+        seen[start] = True
+        frontier = [start]
+        members = []
+        while frontier:
+            current = frontier.pop()
+            members.append(node_ids[current])
+            for neighbour in adjacency[current]:
+                if not seen[neighbour]:
+                    seen[neighbour] = True
+                    frontier.append(neighbour)
+        components.append(sorted(members))
+    components.sort(key=lambda member_ids: (-len(member_ids), member_ids[0]))
+    return components
+
+
+def effective_component_count(
+    overlay: OverlayProvider,
+    reachability=None,
+    cycle_index: int = 0,
+) -> int:
+    """Number of weakly-connected components of the effective graph."""
+    return len(effective_components(overlay, reachability, cycle_index))
+
+
+def overlay_is_split(
+    overlay: OverlayProvider,
+    reachability=None,
+    cycle_index: int = 0,
+    boundary: Optional[int] = None,
+) -> bool:
+    """Whether the effective overlay is split into 2+ components.
+
+    With ``boundary`` given, additionally require that the split follows
+    the id-space cut: no component may contain ids from both sides of the
+    boundary — the signature of a partition outage rather than incidental
+    fragmentation.
+    """
+    components = effective_components(overlay, reachability, cycle_index)
+    if len(components) < 2:
+        return False
+    if boundary is None:
+        return True
+    for members in components:
+        below = any(node < boundary for node in members)
+        above = any(node >= boundary for node in members)
+        if below and above:
+            return False
+    return True

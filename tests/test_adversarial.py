@@ -1,0 +1,649 @@
+"""Tests for the adversarial & correlated-failure subsystem.
+
+Covers the byzantine reporter models, partition outages and NAT-style
+asymmetric reachability, trace-driven and heavy-tailed churn, the
+median-of-instances hardened COUNT reducer, and the threading of all of
+the above through every engine: reference vs vectorized bit-parity,
+replicated-vs-serial parity, async value injection, and the overlay
+split / re-merge behaviour of NEWSCAST under a partition.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.rng import RandomSource
+from repro.core.functions import AverageFunction, VectorFunction
+from repro.core.instances import MultiInstanceCount, reduce_size_estimates
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import byzantine_degradation, partition_recovery
+from repro.experiments.runner import (
+    RunPlan,
+    TimeVaryingValues,
+    pareto_initial_values,
+    repeat_simulations,
+    uniform_initial_values,
+)
+from repro.simulator import make_simulator
+from repro.simulator.adversarial import (
+    BYZANTINE_STRATEGIES,
+    ByzantineReporterModel,
+    count_deflation_attack,
+    count_inflation_attack,
+    targeted_instance_attack,
+)
+from repro.simulator.asynchrony import BYZANTINE, PARTITIONED, build_async_average
+from repro.simulator.failures import (
+    CompositeReachabilityModel,
+    HeavyTailedChurnModel,
+    NatReachabilityModel,
+    PartitionOutageModel,
+    TraceChurnModel,
+)
+from repro.simulator.transport import (
+    OUTCOME_COMPLETED,
+    OUTCOME_DROPPED,
+    apply_reachability,
+)
+from repro.topology import (
+    TopologySpec,
+    build_overlay,
+    effective_component_count,
+    effective_components,
+    overlay_is_split,
+)
+
+SIZE = 80
+
+
+def build_simulator(
+    engine="reference",
+    size=SIZE,
+    seed=11,
+    cycles=0,
+    failure_model=None,
+    reachability=None,
+    function=None,
+    values=None,
+    topology=None,
+):
+    rng = RandomSource(seed)
+    overlay = build_overlay(
+        topology or TopologySpec("random", degree=6), size, rng.child("topology")
+    )
+    simulator = make_simulator(
+        overlay=overlay,
+        function=function or AverageFunction(),
+        initial_values=values if values is not None else [float(i % 17) for i in range(size)],
+        rng=rng.child("sim"),
+        engine=engine,
+        failure_model=failure_model,
+        reachability=reachability,
+    )
+    if cycles:
+        simulator.run(cycles)
+    return simulator
+
+
+def assert_engines_bit_identical(make_failure=None, reachability=None, cycles=10, **kwargs):
+    estimates = []
+    for engine in ("reference", "vectorized"):
+        simulator = build_simulator(
+            engine=engine,
+            cycles=cycles,
+            failure_model=make_failure() if make_failure else None,
+            reachability=reachability,
+            **kwargs,
+        )
+        estimates.append(simulator.estimates())
+    assert estimates[0].keys() == estimates[1].keys()
+    for node in estimates[0]:
+        assert estimates[0][node] == estimates[1][node], f"node {node} diverged"
+    return estimates[0]
+
+
+# ----------------------------------------------------------------------
+# Byzantine reporter models
+# ----------------------------------------------------------------------
+class TestByzantineReporterModel:
+    def test_recruits_requested_fraction_once(self):
+        model = ByzantineReporterModel(0.2, strategy="constant", lie_value=0.0)
+        simulator = build_simulator(failure_model=model, cycles=5)
+        assert len(model.byzantine_ids) == round(0.2 * SIZE)
+        assert set(model.byzantine_ids) <= set(simulator.participant_ids())
+        honest = model.honest_ids(simulator)
+        assert set(honest).isdisjoint(model.byzantine_ids)
+        assert len(honest) + len(model.byzantine_ids) == SIZE
+
+    def test_constant_lie_pins_byzantine_states(self):
+        # The lie is asserted at the start of every cycle (exchanges then
+        # mix it into the population); applying the model by hand shows
+        # the forged state exactly.
+        model = ByzantineReporterModel(0.1, strategy="constant", lie_value=-3.5)
+        simulator = build_simulator(failure_model=model, cycles=6)
+        model.apply(simulator, 7, RandomSource(99))
+        for node in model.byzantine_ids:
+            assert simulator.state_of(node) == -3.5
+
+    def test_constant_lie_drags_honest_estimates(self):
+        honest_mean = np.mean([float(i % 17) for i in range(SIZE)])
+        baseline = build_simulator(cycles=12)
+        attacked_model = ByzantineReporterModel(0.25, strategy="constant", lie_value=0.0)
+        attacked = build_simulator(failure_model=attacked_model, cycles=12)
+        honest = attacked_model.honest_ids(attacked)
+        attacked_mean = np.mean([attacked.state_of(node) for node in honest])
+        baseline_mean = np.mean([baseline.state_of(node) for node in baseline.participant_ids()])
+        assert baseline_mean == pytest.approx(honest_mean, rel=0.05)
+        assert attacked_mean < 0.8 * honest_mean
+
+    def test_stuck_strategy_freezes_recruitment_values(self):
+        # Recruitment happens at the start of cycle 1, before any
+        # exchange, so the stuck rows are the nodes' initial values.
+        model = ByzantineReporterModel(0.1, strategy="stuck")
+        simulator = build_simulator(failure_model=model, cycles=6)
+        model.apply(simulator, 7, RandomSource(99))
+        for node in model.byzantine_ids:
+            assert simulator.state_of(node) == float(node % 17)
+
+    def test_drift_strategy_moves_linearly(self):
+        model = ByzantineReporterModel(0.1, strategy="drift", drift_per_cycle=2.0)
+        simulator = build_simulator(failure_model=model, cycles=6)
+        model.apply(simulator, 7, RandomSource(99))
+        for node in model.byzantine_ids:
+            assert simulator.state_of(node) == pytest.approx(
+                float(node % 17) + 2.0 * (7 - 1)
+            )
+
+    def test_targeted_strategy_corrupts_leading_instances_only(self):
+        instances = 5
+        model = targeted_instance_attack(0.2, instance_fraction=0.4, lie_value=-1.0)
+        function = VectorFunction([AverageFunction() for _ in range(instances)])
+        values = [tuple(float(i + j) for j in range(instances)) for i in range(SIZE)]
+        simulator = build_simulator(
+            failure_model=model, cycles=3, function=function, values=values
+        )
+        corrupted = max(1, math.ceil(0.4 * instances))
+        model.apply(simulator, 4, RandomSource(99))
+        for node in model.byzantine_ids:
+            state = simulator.state_of(node)
+            assert all(component == -1.0 for component in state[:corrupted])
+            assert all(component != -1.0 for component in state[corrupted:])
+
+    def test_zero_fraction_recruits_nobody(self):
+        model = ByzantineReporterModel(0.0)
+        build_simulator(failure_model=model, cycles=3)
+        assert model.byzantine_ids == []
+
+    def test_describe_mentions_strategy(self):
+        text = ByzantineReporterModel(0.1, strategy="drift", drift_per_cycle=1.0).describe()
+        assert "drift" in text
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ByzantineReporterModel(1.5)
+        with pytest.raises(ConfigurationError):
+            ByzantineReporterModel(0.1, strategy="gaslight")
+        with pytest.raises(ConfigurationError):
+            ByzantineReporterModel(0.1, strategy="targeted", instance_fraction=2.0)
+
+    def test_strategy_registry(self):
+        assert set(BYZANTINE_STRATEGIES) == {"constant", "targeted", "stuck", "drift"}
+
+    def test_attack_factories(self):
+        inflation = count_inflation_attack(0.1)
+        assert inflation.lie_value == 0.0
+        deflation = count_deflation_attack(0.1, claimed_mass=4.0)
+        assert deflation.lie_value == 4.0
+        targeted = targeted_instance_attack(0.1, instance_fraction=0.5)
+        assert targeted.strategy == "targeted"
+
+
+class TestByzantineEngineParity:
+    def test_reference_and_vectorized_bit_identical(self):
+        assert_engines_bit_identical(
+            make_failure=lambda: ByzantineReporterModel(0.1, strategy="constant")
+        )
+
+    @pytest.mark.parametrize("strategy", ["stuck", "drift"])
+    def test_parity_for_stateful_strategies(self, strategy):
+        assert_engines_bit_identical(
+            make_failure=lambda: ByzantineReporterModel(
+                0.15, strategy=strategy, drift_per_cycle=0.5
+            )
+        )
+
+    def test_replicated_matches_serial_under_attack(self):
+        plan = RunPlan(
+            topology=TopologySpec("random", degree=5),
+            size=60,
+            cycles=8,
+            values=uniform_initial_values,
+            failure_factory=lambda: count_inflation_attack(0.1),
+        )
+        replicated = repeat_simulations(3, 21, plan=plan, engine="replicated")
+        serial = repeat_simulations(3, 21, plan=plan, engine="serial")
+        for fast, slow in zip(replicated, serial):
+            assert fast.records[-1].variance == slow.records[-1].variance
+
+    def test_override_values_rejects_non_participants(self):
+        simulator = build_simulator(engine="vectorized")
+        with pytest.raises(SimulationError):
+            simulator.override_values([SIZE + 5], np.zeros((1, 1)))
+
+
+# ----------------------------------------------------------------------
+# Reachability: partitions, NAT, composition
+# ----------------------------------------------------------------------
+class TestPartitionOutageModel:
+    def test_window_and_boundary(self):
+        model = PartitionOutageModel.split(100, 0.3, 5, 9)
+        assert model.boundary == 30
+        assert not model.is_active(4)
+        assert model.is_active(5)
+        assert model.is_active(8)
+        assert not model.is_active(9)
+
+    def test_blocks_only_cross_boundary_pairs(self):
+        model = PartitionOutageModel(boundary=50, start_cycle=1, heal_cycle=10)
+        initiators = np.array([10, 60, 10, 60])
+        peers = np.array([20, 70, 70, 20])
+        blocked = model.blocked_pairs(initiators, peers, 3)
+        assert blocked.tolist() == [False, False, True, True]
+        assert model.blocked_pairs(initiators, peers, 10) is None
+
+    def test_scalar_blocks_helper(self):
+        model = PartitionOutageModel(boundary=50, start_cycle=1, heal_cycle=10)
+        assert model.blocks(10, 70, 3)
+        assert not model.blocks(10, 20, 3)
+        assert not model.blocks(10, 70, 12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionOutageModel(boundary=0, start_cycle=1, heal_cycle=2)
+        with pytest.raises(ConfigurationError, match="1-based"):
+            PartitionOutageModel(boundary=5, start_cycle=0, heal_cycle=2)
+        with pytest.raises(ConfigurationError):
+            PartitionOutageModel(boundary=5, start_cycle=3, heal_cycle=3)
+        with pytest.raises(ConfigurationError):
+            PartitionOutageModel.split(100, 1.5, 1, 2)
+
+    def test_describe_mentions_window(self):
+        assert "[2, 7)" in PartitionOutageModel(10, 2, 7).describe()
+
+
+class TestNatReachabilityModel:
+    def test_asymmetric_inbound_block(self):
+        model = NatReachabilityModel([3, 7])
+        # NATed nodes can initiate, nobody can reach them.
+        assert model.blocks(0, 3, 1)
+        assert not model.blocks(3, 0, 1)
+        assert model.blocks(3, 7, 1)
+        assert model.nat_ids == [3, 7]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NatReachabilityModel([])
+        with pytest.raises(ConfigurationError):
+            NatReachabilityModel([-1, 2])
+
+    def test_engine_parity_under_nat(self):
+        assert_engines_bit_identical(reachability=NatReachabilityModel(range(0, 20)))
+
+
+class TestCompositeReachabilityModel:
+    def test_union_of_blocked_pairs(self):
+        partition = PartitionOutageModel(boundary=50, start_cycle=1, heal_cycle=5)
+        nat = NatReachabilityModel([60])
+        combined = CompositeReachabilityModel([partition, nat])
+        initiators = np.array([10, 55, 10])
+        peers = np.array([60, 60, 20])
+        active = combined.blocked_pairs(initiators, peers, 2)
+        assert active.tolist() == [True, True, False]
+        healed = combined.blocked_pairs(initiators, peers, 8)
+        assert healed.tolist() == [True, True, False]
+
+    def test_all_inert_returns_none(self):
+        partition = PartitionOutageModel(boundary=50, start_cycle=5, heal_cycle=6)
+        combined = CompositeReachabilityModel([partition])
+        assert combined.blocked_pairs(np.array([1]), np.array([60]), 1) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CompositeReachabilityModel([])
+
+
+class TestApplyReachability:
+    def test_marks_blocked_pairs_dropped(self):
+        model = PartitionOutageModel(boundary=5, start_cycle=1, heal_cycle=9)
+        initiators = np.array([1, 2, 6])
+        peers = np.array([7, 3, -1])
+        outcomes = np.full(3, OUTCOME_COMPLETED)
+        assert apply_reachability(model, initiators, peers, outcomes, 2)
+        # Unmatched peers (-1) are never rewritten.
+        assert outcomes.tolist() == [OUTCOME_DROPPED, OUTCOME_COMPLETED, OUTCOME_COMPLETED]
+
+    def test_inert_model_leaves_outcomes_alone(self):
+        model = PartitionOutageModel(boundary=5, start_cycle=8, heal_cycle=9)
+        outcomes = np.full(2, OUTCOME_COMPLETED)
+        assert not apply_reachability(
+            model, np.array([1, 6]), np.array([7, 2]), outcomes, 2
+        )
+        assert outcomes.tolist() == [OUTCOME_COMPLETED] * 2
+        assert not apply_reachability(None, np.array([1]), np.array([7]), outcomes[:1], 2)
+
+
+class TestPartitionEngineBehaviour:
+    def test_engine_parity_under_partition(self):
+        reachability = PartitionOutageModel(boundary=SIZE // 2, start_cycle=3, heal_cycle=8)
+        assert_engines_bit_identical(reachability=reachability, cycles=12)
+
+    def test_partition_freezes_cross_side_mixing(self):
+        # During the outage each side conserves its own mass, so the gap
+        # between the side means cannot move.
+        reachability = PartitionOutageModel(boundary=SIZE // 2, start_cycle=1, heal_cycle=100)
+        simulator = build_simulator(
+            engine="vectorized", reachability=reachability, cycles=15
+        )
+        ids = np.asarray(simulator.participant_ids())
+        states = np.array(simulator.state_array(), dtype=float).reshape(ids.size, -1)[:, 0]
+        values = np.array([float(i % 17) for i in range(SIZE)])
+        low_mean = states[ids < SIZE // 2].mean()
+        high_mean = states[ids >= SIZE // 2].mean()
+        assert low_mean == pytest.approx(values[: SIZE // 2].mean())
+        assert high_mean == pytest.approx(values[SIZE // 2 :].mean())
+
+
+class TestNewscastSplitAndRemerge:
+    def test_overlay_splits_then_remerges_and_reconverges(self):
+        size = 120
+        spec = TopologySpec("newscast", degree=15, params={"vectorized": True})
+        rng = RandomSource(9)
+        overlay = build_overlay(spec, size, rng.child("topology"))
+        reachability = PartitionOutageModel.split(size, 0.5, 1, 5)
+        simulator = make_simulator(
+            overlay=overlay,
+            function=AverageFunction(),
+            initial_values=[float(i % 23) for i in range(size)],
+            rng=rng.child("sim"),
+            reachability=reachability,
+        )
+        simulator.run(4)
+        # During the outage the effective communication graph is split
+        # cleanly along the id boundary.
+        assert overlay_is_split(
+            overlay, reachability, cycle_index=4, boundary=reachability.boundary
+        )
+        assert effective_component_count(overlay, reachability, 4) >= 2
+        components = effective_components(overlay, reachability, 4)
+        assert sum(len(component) for component in components) == size
+        # After the heal the halves re-merge through surviving cross-side
+        # cache entries and the estimate re-converges.
+        simulator.run(16)
+        assert effective_component_count(overlay, None, 0) == 1
+        assert not overlay_is_split(overlay, None, 0, boundary=reachability.boundary)
+        states = np.array(simulator.state_array(), dtype=float)
+        assert float(np.var(states)) < 1e-3
+
+    def test_components_without_reachability_on_connected_overlay(self):
+        rng = RandomSource(4)
+        overlay = build_overlay(TopologySpec("random", degree=6), 50, rng)
+        components = effective_components(overlay)
+        assert len(components) == 1
+        assert components[0] == list(range(50))
+
+
+# ----------------------------------------------------------------------
+# Trace-driven and heavy-tailed churn
+# ----------------------------------------------------------------------
+class TestTraceChurnModel:
+    def test_replays_schedule(self):
+        model = TraceChurnModel([(2, "leave", 10), (3, "join", 4)])
+        simulator = build_simulator(failure_model=model, size=60)
+        simulator.run_cycle()
+        assert len(simulator.participant_ids()) == 60
+        simulator.run_cycle()
+        assert len(simulator.participant_ids()) == 50
+        simulator.run_cycle()
+        # Joins enter as non-participating members of the epoch.
+        assert len(simulator.participant_ids()) == 50
+        assert model.last_cycle == 3
+
+    def test_leave_caps_at_population(self):
+        model = TraceChurnModel([(1, "leave", 15), (2, "leave", 1000)])
+        simulator = build_simulator(failure_model=model, size=20)
+        simulator.run_cycle()
+        assert len(simulator.participant_ids()) == 5
+
+    def test_from_csv(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("cycle,event,count\n1,leave,5\n2,join,3\n")
+        model = TraceChurnModel.from_csv(path)
+        assert model.last_cycle == 2
+        simulator = build_simulator(failure_model=model, size=40)
+        simulator.run(2)
+        assert len(simulator.participant_ids()) == 35
+
+    def test_from_csv_rejects_short_rows(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,leave\n")
+        with pytest.raises(ValueError):
+            TraceChurnModel.from_csv(path)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceChurnModel([(0, "leave", 1)])
+        with pytest.raises(ConfigurationError):
+            TraceChurnModel([(1, "reboot", 1)])
+        with pytest.raises(ConfigurationError):
+            TraceChurnModel([(1, "join", -1)])
+
+    def test_describe_mentions_span(self):
+        model = TraceChurnModel([(1, "leave", 2), (9, "join", 1)])
+        assert "9" in model.describe()
+
+
+class TestHeavyTailedChurnModel:
+    def test_sessions_expire_and_replacements_join(self):
+        model = HeavyTailedChurnModel(alpha=1.1, min_session=1.0, replace=True)
+        simulator = build_simulator(failure_model=model, size=100)
+        before = set(simulator.participant_ids())
+        simulator.run(8)
+        # Short heavy-tailed sessions must have expired someone by now,
+        # and every departure is matched by a (non-participating) join.
+        assert simulator.crashed_ids()
+        assert set(simulator.participant_ids()) < before
+
+    def test_without_replacement_population_shrinks(self):
+        model = HeavyTailedChurnModel(alpha=1.1, min_session=1.0, replace=False)
+        simulator = build_simulator(failure_model=model, size=100)
+        simulator.run(8)
+        assert len(simulator.participant_ids()) < 100
+
+    def test_long_min_session_keeps_everyone(self):
+        model = HeavyTailedChurnModel(alpha=2.0, min_session=50.0)
+        simulator = build_simulator(failure_model=model, size=40)
+        simulator.run(5)
+        assert len(simulator.participant_ids()) == 40
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HeavyTailedChurnModel(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            HeavyTailedChurnModel(min_session=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Median-of-instances hardened COUNT
+# ----------------------------------------------------------------------
+class TestMedianReducer:
+    def test_scalar_and_batched_agree(self):
+        rng = RandomSource(5)
+        bundle = MultiInstanceCount.create(list(range(30)), 9, rng, reducer="median")
+        block = np.abs(rng.generator.normal(0.05, 0.02, (30, 9))) + 1e-4
+        batched = bundle.size_estimates_array(block)
+        for row, expected in zip(block, batched):
+            scalar = bundle.node_size_estimate(tuple(row))
+            assert scalar == pytest.approx(expected)
+
+    def test_median_survives_minority_corruption_where_trimmed_fails(self):
+        # 16 instances, 7 ruined (mass drained to ~0): more than the
+        # trimmed mean's floor(16/3) = 5 per-tail budget, still a minority.
+        truthful = 1.0 / 100.0
+        estimates = [1e-9] * 7 + [truthful] * 9
+        median = reduce_size_estimates(estimates, reducer="median")
+        trimmed = reduce_size_estimates(estimates, reducer="trimmed")
+        assert median == pytest.approx(100.0, rel=0.01)
+        assert trimmed > 2 * 100.0
+
+    def test_median_handles_vanished_mass(self):
+        estimates = [0.0, -1e-9, 1.0 / 50.0, 1.0 / 50.0, 1.0 / 50.0]
+        assert reduce_size_estimates(estimates, reducer="median") == pytest.approx(50.0)
+        block = np.array([[0.0, -1e-9, 1.0 / 50.0, 1.0 / 50.0, 1.0 / 50.0]])
+        rng = RandomSource(6)
+        bundle = MultiInstanceCount.create(list(range(4)), 5, rng, reducer="median")
+        assert bundle.size_estimates_array(block)[0] == pytest.approx(50.0)
+
+    def test_unknown_reducer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reduce_size_estimates([0.1], reducer="mode")
+        rng = RandomSource(7)
+        with pytest.raises(ConfigurationError):
+            MultiInstanceCount.create(list(range(4)), 3, rng, reducer="mode")
+
+
+# ----------------------------------------------------------------------
+# Async engine: forged values and scenario presets
+# ----------------------------------------------------------------------
+class TestAsyncAdversarial:
+    def test_byzantine_scenario_drags_estimate(self):
+        size = 100
+        rng = RandomSource(5)
+        overlay = build_overlay(TopologySpec("random", degree=8), size, rng.child("overlay"))
+        simulator, protocol = build_async_average(
+            overlay,
+            {node: float(node % 10) for node in range(size)},
+            rng.child("run"),
+            BYZANTINE,
+        )
+        simulator.run(10)
+        del protocol
+        assert simulator.trace.final.mean < 4.0  # honest mean is 4.5
+
+    def test_partitioned_scenario_preserves_mass(self):
+        size = 100
+        rng = RandomSource(5)
+        overlay = build_overlay(TopologySpec("random", degree=8), size, rng.child("overlay"))
+        simulator, _ = build_async_average(
+            overlay,
+            {node: float(node % 10) for node in range(size)},
+            rng.child("run"),
+            PARTITIONED,
+        )
+        simulator.run(12)
+        assert simulator.trace.records[-1].mean == pytest.approx(4.5)
+
+    def test_async_override_skips_departed_nodes(self):
+        size = 50
+        rng = RandomSource(8)
+        overlay = build_overlay(TopologySpec("random", degree=6), size, rng.child("overlay"))
+        simulator, _ = build_async_average(
+            overlay,
+            {node: 1.0 for node in range(size)},
+            rng.child("run"),
+        )
+        simulator.run(1)
+        simulator.override_values(np.array([0, 1, size + 99]), -5.0)
+        simulator.run(1)  # must not raise on the out-of-range id
+
+
+# ----------------------------------------------------------------------
+# Experiment layer: value generators, plans and figures
+# ----------------------------------------------------------------------
+class TestValueGenerators:
+    def test_pareto_values_bounded_below_by_scale(self):
+        rng = RandomSource(3)
+        values = pareto_initial_values(500, rng, alpha=2.0, scale=2.0)
+        assert len(values) == 500
+        assert min(values) >= 2.0
+        assert np.mean(values) == pytest.approx(2.0 * 2.0 / (2.0 - 1.0), rel=0.25)
+
+    def test_pareto_validation(self):
+        rng = RandomSource(3)
+        with pytest.raises(ConfigurationError):
+            pareto_initial_values(10, rng, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            pareto_initial_values(10, rng, scale=-1.0)
+
+    def test_time_varying_values_track_moving_mean(self):
+        model = TimeVaryingValues(base=50.0, amplitude=0.0, period=10, fraction=0.2, jitter=0.5)
+        simulator = build_simulator(
+            failure_model=model, cycles=20, values=[0.0] * SIZE
+        )
+        final = simulator.trace.records[-1].mean
+        # Repeated re-injection around 50 pulls the estimate off 0 toward 50.
+        assert final > 25.0
+        assert "per cycle" in model.describe()
+
+    def test_time_varying_engine_parity(self):
+        assert_engines_bit_identical(
+            make_failure=lambda: TimeVaryingValues(
+                base=10.0, amplitude=5.0, period=7, fraction=0.1, jitter=1.0
+            )
+        )
+
+    def test_time_varying_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimeVaryingValues(period=0)
+        with pytest.raises(ConfigurationError):
+            TimeVaryingValues(fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            TimeVaryingValues(amplitude=-1.0)
+
+
+TINY = ExperimentScale(name="tiny", network_size=80, repeats=2, sweep_points=3)
+
+
+class TestRobustnessFigures:
+    def test_byzantine_degradation_orders_reducers(self):
+        figure = byzantine_degradation(TINY, cycles=15, instance_count=12)
+        fractions = figure.column("byzantine_fraction")
+        assert fractions[0] == 0.0 and fractions[-1] == pytest.approx(0.2)
+        for row in figure.rows:
+            if row["byzantine_fraction"] == 0.0:
+                assert row["median_error"] < 0.01
+                assert row["single_instance_error"] < 0.01
+            else:
+                assert row["median_error"] < row["single_instance_error"]
+                assert row["median_error"] <= row["trimmed_error"]
+
+    def test_partition_recovery_splits_and_heals(self):
+        figure = partition_recovery(
+            TINY, cycles=18, partition_start=3, partition_length=4
+        )
+        by_cycle = {row["cycle"]: row for row in figure.rows}
+        assert by_cycle[4]["partition_active"]
+        assert by_cycle[4]["components"] >= 2
+        assert not by_cycle[10]["partition_active"]
+        assert by_cycle[18]["components"] == 1
+        assert by_cycle[18]["side_gap"] < 0.1
+        assert by_cycle[18]["variance"] < by_cycle[2]["variance"]
+
+    def test_figures_registered(self):
+        from repro.experiments.figures import ALL_FIGURES
+
+        assert "byzantine" in ALL_FIGURES and "partition" in ALL_FIGURES
+
+    def test_plan_reachability_replicated_matches_serial(self):
+        plan = RunPlan(
+            topology=TopologySpec("random", degree=5),
+            size=60,
+            cycles=8,
+            values=uniform_initial_values,
+            reachability=PartitionOutageModel.split(60, 0.5, 2, 6),
+        )
+        replicated = repeat_simulations(2, 31, plan=plan, engine="replicated")
+        serial = repeat_simulations(2, 31, plan=plan, engine="serial")
+        for fast, slow in zip(replicated, serial):
+            assert fast.records[-1].variance == slow.records[-1].variance

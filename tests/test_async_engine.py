@@ -354,6 +354,60 @@ class TestScenarioLayer:
         assert "drift" in label and "loss" in label and "churn" in label
 
 
+class TestAdversarialScenarios:
+    """The robustness presets: byzantine reporters, partitions, flash crowds."""
+
+    def test_presets_registered(self):
+        assert {"byzantine", "partitioned", "flash-crowd"} <= set(SCENARIOS)
+
+    def test_environment_error_lists_new_presets(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ASYNC_SCENARIO", "nonsense")
+        with pytest.raises(ConfigurationError, match="byzantine"):
+            scenario_from_environment()
+
+    def test_new_field_validation(self):
+        with pytest.raises(ConfigurationError):
+            AsynchronyScenario(byzantine_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            AsynchronyScenario(partition_fraction=0.5, partition_cycles=0)
+        with pytest.raises(ConfigurationError):
+            AsynchronyScenario(
+                partition_fraction=0.5, partition_start=0, partition_cycles=3
+            )
+        with pytest.raises(ConfigurationError):
+            AsynchronyScenario(flash_crowd_window=-1)
+
+    def test_labels_mention_adversaries(self):
+        assert "byz" in SCENARIOS["byzantine"].label()
+        assert "partition" in SCENARIOS["partitioned"].label()
+        assert "flashcrowd" in SCENARIOS["flash-crowd"].label()
+
+    def test_flash_crowd_grows_population(self):
+        simulator, _ = build_average(
+            seed=9, scenario=SCENARIOS["flash-crowd"], size=100, kind="random"
+        )
+        simulator.run(8)
+        # +50% at window five, steady churn replaces its own departures.
+        assert simulator.alive_ids().size == 150
+
+    @pytest.mark.parametrize("name", ["byzantine", "partitioned"])
+    def test_cross_engine_agreement_under_adversary(self, name):
+        """Async vs cycle-model convergence must still agree when the same
+        adversary (forged values / partition outage) runs on both engines;
+        measured factor differences are ~0.05 at this scale."""
+        agreement = compare_average_convergence(
+            overlay_factory("random"),
+            linear_values(),
+            cycles=15,
+            rng=RandomSource(5),
+            scenario=SCENARIOS[name],
+        )
+        assert agreement.agree_within(0.15), (
+            f"{name}: async={agreement.async_factor:.3f} "
+            f"cycle={agreement.cycle_factor:.3f}"
+        )
+
+
 @pytest.mark.skipif(
     os.environ.get("REPRO_SCALE", "").lower() not in ("default", "paper"),
     reason="async-scale acceptance runs only at REPRO_SCALE=default/paper",
@@ -388,3 +442,42 @@ class TestAsyncScaleAcceptance:
             assert record.mean_estimate == pytest.approx(size, rel=0.10), (
                 f"epoch {record.epoch_id}: {record.mean_estimate}"
             )
+
+    def test_byzantine_degradation_at_ten_thousand_nodes(self):
+        """Acceptance: COUNT error vs byzantine fraction 0-20% at N=10^4 on
+        the replica-batched fast path — the hardened median-of-instances
+        reducer is strictly more robust than a single instance, and stays
+        accurate across the whole sweep."""
+        from repro.experiments.config import ExperimentScale
+        from repro.experiments.figures import byzantine_degradation
+
+        scale = ExperimentScale(
+            name="byz-acceptance", network_size=10_000, repeats=3, sweep_points=5
+        )
+        figure = byzantine_degradation(scale, cycles=30)
+        fractions = figure.column("byzantine_fraction")
+        assert fractions[0] == 0.0 and fractions[-1] == pytest.approx(0.2)
+        for row in figure.rows:
+            assert row["median_error"] < 0.05, row
+            if row["byzantine_fraction"] > 0.0:
+                assert row["median_error"] < row["single_instance_error"], row
+
+    def test_partition_recovery_at_ten_thousand_nodes(self):
+        """Acceptance: the overlay splits into two effective components
+        during the outage and re-converges within bounded cycles after
+        the heal."""
+        from repro.experiments.config import ExperimentScale
+        from repro.experiments.figures import partition_recovery
+
+        scale = ExperimentScale(
+            name="partition-acceptance", network_size=10_000, repeats=1, sweep_points=3
+        )
+        figure = partition_recovery(
+            scale, cycles=28, partition_start=5, partition_length=6
+        )
+        by_cycle = {row["cycle"]: row for row in figure.rows}
+        assert by_cycle[8]["partition_active"] and by_cycle[8]["components"] >= 2
+        assert not by_cycle[12]["partition_active"]
+        assert by_cycle[28]["components"] == 1
+        assert by_cycle[28]["side_gap"] < 0.05
+        assert by_cycle[28]["variance"] < 1e-4 * by_cycle[1]["variance"]

@@ -37,7 +37,7 @@ class TestRegistryAndHelpers:
     def test_all_figures_registry_complete(self):
         assert set(ALL_FIGURES) == {
             "2", "3a", "3b", "4a", "4b", "5", "6a", "6b", "7a", "7b", "8a", "8b",
-            "adaptive", "adaptive-async", "cost",
+            "adaptive", "adaptive-async", "byzantine", "cost", "partition",
         }
 
     def test_standard_topologies_families(self):
